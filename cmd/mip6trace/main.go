@@ -1,0 +1,97 @@
+// Command mip6trace runs a movement scenario on the paper's Figure 1
+// network and dumps the decoded packet trace: floods, prunes, grafts,
+// asserts, MLD queries/reports, binding updates, and tunneled datagrams.
+//
+// Usage:
+//
+//	mip6trace                         # bidirectional tunnel, default timers
+//	mip6trace -approach local -kinds pim-prune,pim-graft,data
+//	mip6trace -duration 120s -move-receiver 30s -move-sender 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mip6mcast"
+	"mip6mcast/internal/core"
+	"mip6mcast/internal/scenario"
+	"mip6mcast/internal/trace"
+)
+
+func main() {
+	var (
+		approachName = flag.String("approach", "bidir", "local | bidir | mn2ha | ha2mn")
+		kinds        = flag.String("kinds", "", "comma-separated event kinds to keep (empty = all)")
+		duration     = flag.Duration("duration", 150*time.Second, "total virtual time")
+		moveReceiver = flag.Duration("move-receiver", 30*time.Second, "when R3 moves to Link 6 (0 = never)")
+		moveSender   = flag.Duration("move-sender", 90*time.Second, "when S moves to Link 6 (0 = never)")
+		interval     = flag.Duration("interval", time.Second, "CBR datagram interval")
+		tquery       = flag.Int("tquery", 30, "MLD query interval seconds")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	approach, ok := map[string]mip6mcast.Approach{
+		"local": mip6mcast.LocalMembership,
+		"bidir": mip6mcast.BidirectionalTunnel,
+		"mn2ha": mip6mcast.UniTunnelMNToHA,
+		"ha2mn": mip6mcast.UniTunnelHAToMN,
+	}[*approachName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown approach %q\n", *approachName)
+		os.Exit(2)
+	}
+
+	opt := mip6mcast.FastMLDOptions(*tquery)
+	opt.Seed = *seed
+	opt.HostMLD = core.RecommendedHostMLD(approach, opt.HostMLD)
+	f := scenario.NewFigure1(opt)
+
+	w := &trace.Writer{W: os.Stdout}
+	if *kinds != "" {
+		keep := map[string]bool{}
+		for _, k := range strings.Split(*kinds, ",") {
+			keep[strings.TrimSpace(k)] = true
+		}
+		w.Filter = func(e trace.Event) bool { return keep[e.Kind] }
+	}
+	w.Attach(f.Net)
+
+	for _, name := range scenario.RouterNames() {
+		r := f.Routers[name]
+		for _, ha := range r.HAs {
+			core.NewHAService(ha, r.PIM, nil, opt.MLD)
+		}
+	}
+	svcs := map[string]*core.Service{}
+	for _, name := range scenario.HostNames() {
+		h := f.Hosts[name]
+		svcs[name] = core.NewService(h.MN, h.MLD, approach, opt.MLD)
+	}
+	for _, r := range []string{"R1", "R2", "R3"} {
+		svcs[r].Join(scenario.Group)
+	}
+	scenario.NewCBR(f.Sched, 1, *interval, 64, func(p []byte) {
+		svcs["S"].Send(scenario.Group, p)
+	})
+
+	if *moveReceiver > 0 {
+		f.Sched.At(0, func() {})
+		f.Sched.Schedule(*moveReceiver, func() {
+			fmt.Printf("%10s ---- R3 moves to L6 ----\n", f.Sched.Now())
+			f.Move("R3", "L6")
+		})
+	}
+	if *moveSender > 0 {
+		f.Sched.Schedule(*moveSender, func() {
+			fmt.Printf("%10s ---- S moves to L6 ----\n", f.Sched.Now())
+			f.Move("S", "L6")
+		})
+	}
+	f.Run(*duration)
+	fmt.Printf("---- %d events, %s of virtual time, approach=%s ----\n", w.Count, *duration, approach)
+}

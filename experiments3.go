@@ -1,0 +1,176 @@
+package mip6mcast
+
+import (
+	"fmt"
+	"time"
+
+	"mip6mcast/internal/core"
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/metrics"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/scenario"
+	"mip6mcast/internal/sim"
+)
+
+// SMG — multi-group scaling (an extension the paper implies): one mobile
+// receiver subscribed to G groups through its home agent. Measures how the
+// extended Binding Update grows (the Figure 5 sub-option carries at most
+// 15 groups; longer lists split across sub-options), and how the home
+// agent's tunneling load scales with G.
+
+// SMGPoint is one multi-group sample.
+type SMGPoint struct {
+	Groups int
+	// MaxBUBytes is the largest Binding Update observed on the wire.
+	MaxBUBytes int
+	// SubOptions carried by that Binding Update.
+	SubOptions int
+	// HATunneledPerSec: datagrams/s the home agent pushes into the tunnel
+	// in steady state.
+	HATunneledPerSec float64
+	// JoinDelays (seconds) across all groups after the move.
+	JoinDelays metrics.Histogram
+	// Delivered datagrams across all groups after the move.
+	Delivered int
+}
+
+// MultiGroupAddr returns the i-th experiment group (ff0e::200+i).
+func MultiGroupAddr(i int) ipv6.Addr {
+	g := ipv6.MustParseAddr("ff0e::200")
+	g[14] = byte((0x200 + i) >> 8)
+	g[15] = byte(0x200 + i)
+	return g
+}
+
+// RunSMG measures multi-group scaling for each group count. The mobile
+// receiver R3 subscribes to all groups via the Group List mechanism and
+// moves to Link 6; a sender on Link 1 cycles one datagram per interval
+// across the groups.
+func RunSMG(opt Options, counts []int) []SMGPoint {
+	out := make([]SMGPoint, 0, len(counts))
+	for _, g := range counts {
+		out = append(out, runSMGOne(opt, g))
+	}
+	return out
+}
+
+func runSMGOne(opt Options, nGroups int) SMGPoint {
+	approach := UniTunnelHAToMN
+	opt.HostMLD = core.RecommendedHostMLD(approach, opt.HostMLD)
+	f := scenario.NewFigure1(opt)
+
+	// HA services everywhere (PIM-enabled HAs).
+	for _, name := range scenario.RouterNames() {
+		router := f.Routers[name]
+		for _, ha := range router.HAs {
+			core.NewHAService(ha, router.PIM, nil, opt.MLD)
+		}
+	}
+	groups := make([]ipv6.Addr, nGroups)
+	for i := range groups {
+		groups[i] = MultiGroupAddr(i)
+	}
+
+	// R3 subscribes to everything.
+	r3 := f.Hosts["R3"]
+	svc := core.NewService(r3.MN, r3.MLD, approach, opt.MLD)
+	for _, g := range groups {
+		svc.Join(g)
+	}
+	// Sender S cycles across groups, one datagram per 20 ms.
+	s := f.Hosts["S"]
+	sSvc := core.NewService(s.MN, s.MLD, LocalMembership, opt.MLD)
+	seq := 0
+	sim.NewTicker(f.Sched, 20*time.Millisecond, 0, func() {
+		seq++
+		b := scenario.Beacon{Flow: uint16(seq % nGroups), Seq: uint64(seq), SentAt: f.Sched.Now()}
+		sSvc.Send(groups[seq%nGroups], b.Marshal(64))
+	})
+
+	// Observe Binding Updates on the wire.
+	maxBU, subOpts := 0, 0
+	for _, l := range f.Links {
+		l.AddTap(func(ev netem.TxEvent) {
+			opt, ok := ipv6.FindOption(ev.Pkt.DestOpts, ipv6.OptBindingUpdate)
+			if !ok {
+				return
+			}
+			if len(ev.Frame) > maxBU {
+				maxBU = len(ev.Frame)
+				subOpts = countGroupListSubOptions(opt)
+			}
+		})
+	}
+
+	// Per-group delivery probe.
+	firstAfter := map[ipv6.Addr]sim.Time{}
+	delivered := 0
+	var moveAt sim.Time
+	moved := false
+	r3.Node.BindUDP(scenario.WorkloadPort, func(rx netem.RxPacket, u *ipv6.UDP) {
+		if !moved {
+			return
+		}
+		delivered++
+		g := rx.Pkt.Hdr.Dst
+		if _, ok := firstAfter[g]; !ok {
+			firstAfter[g] = f.Sched.Now()
+		}
+	})
+
+	f.Run(30 * time.Second)
+	moveAt = f.Sched.Now()
+	moved = true
+	f.Move("R3", "L6")
+	f.Run(120 * time.Second)
+
+	p := SMGPoint{Groups: nGroups, MaxBUBytes: maxBU, SubOptions: subOpts, Delivered: delivered}
+	for _, g := range groups {
+		if at, ok := firstAfter[g]; ok {
+			p.JoinDelays.Add(at.Sub(moveAt).Seconds())
+		}
+	}
+	ha := f.HomeAgentOf("R3")
+	p.HATunneledPerSec = float64(ha.MulticastTunneled) / 120
+	return p
+}
+
+func countGroupListSubOptions(opt ipv6.Option) int {
+	if len(opt.Data) < 8 {
+		return 0
+	}
+	n := 0
+	subs := opt.Data[8:]
+	for len(subs) >= 2 {
+		if subs[0] == ipv6.SubOptMulticastGroupList {
+			n++
+		}
+		l := int(subs[1])
+		if 2+l > len(subs) {
+			break
+		}
+		subs = subs[2+l:]
+	}
+	return n
+}
+
+// SMGTable renders the multi-group sweep.
+func SMGTable(points []SMGPoint) string {
+	cols := []string{"bu(B)", "subopts", "ha(dgm/s)", "join-p50(s)", "join-max(s)", "delivered"}
+	rows := make([]metrics.Row, 0, len(points))
+	for i := range points {
+		p := &points[i]
+		rows = append(rows, metrics.Row{
+			Label: fmt.Sprintf("groups=%d", p.Groups),
+			Values: map[string]float64{
+				"bu(B)":       float64(p.MaxBUBytes),
+				"subopts":     float64(p.SubOptions),
+				"ha(dgm/s)":   p.HATunneledPerSec,
+				"join-p50(s)": p.JoinDelays.Quantile(0.5),
+				"join-max(s)": p.JoinDelays.Max(),
+				"delivered":   float64(p.Delivered),
+			},
+		})
+	}
+	return metrics.Table("SMG: multi-group scaling of the Group List mechanism", cols, rows)
+}

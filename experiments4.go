@@ -1,0 +1,132 @@
+package mip6mcast
+
+import (
+	"fmt"
+	"time"
+
+	"mip6mcast/internal/core"
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/metrics"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/scenario"
+	"mip6mcast/internal/sim"
+)
+
+// SLD — scaling with line depth (extension): the paper's Figure 1 network
+// fixes all distances; a chain of d routers lets the two receive modes be
+// compared as a function of how far the receiver roams from home:
+//
+//   - local membership: the graft must propagate back along the chain,
+//     and routing stays optimal (path length = distance from the source);
+//   - home-agent tunnel: join delay stays flat (one registration RTT),
+//     but every datagram detours via the home link — stretch grows
+//     linearly with depth.
+
+// SLDPoint is one depth sample for one receive mode.
+type SLDPoint struct {
+	Depth       int
+	Tunnel      bool
+	JoinDelay   time.Duration
+	MeanHops    float64
+	OptimalHops int
+	// TunnelBytesPerDgram of encapsulation overhead (0 for local).
+	TunnelBytesPerDgram float64
+}
+
+// RunSLD measures both receive modes at each depth. The sender and the
+// receiver's home are on link 0; the receiver roams to the far end.
+func RunSLD(opt Options, depths []int) []SLDPoint {
+	out := make([]SLDPoint, 0, 2*len(depths))
+	for _, d := range depths {
+		out = append(out, runSLDOne(opt, d, false))
+		out = append(out, runSLDOne(opt, d, true))
+	}
+	return out
+}
+
+func runSLDOne(opt Options, depth int, tunnel bool) SLDPoint {
+	approach := LocalMembership
+	if tunnel {
+		approach = UniTunnelHAToMN
+	}
+	opt.HostMLD = core.RecommendedHostMLD(approach, opt.HostMLD)
+	topo := scenario.NewLine(depth, opt)
+
+	// HA services on every designated home agent.
+	for _, r := range topo.Routers {
+		router := r
+		for _, ha := range r.HAs {
+			core.NewHAService(ha, router.PIM, nil, opt.MLD)
+		}
+	}
+
+	// Sender and the mobile receiver's home on link 0.
+	src := topo.AddHost("src", 0)
+	m := topo.AddHost("m", 0)
+	svc := core.NewService(m.MN, m.MLD, approach, opt.MLD)
+	svc.Join(scenario.Group)
+
+	probe := metrics.NewFlowProbe("m")
+	scenario.AttachProbe(m.Node, topo.Sched, 1, probe, m.OuterHops)
+
+	tunnelBytes := uint64(0)
+	for _, l := range topo.Links {
+		l.AddTap(func(ev netem.TxEvent) {
+			split := metrics.Split(ev.Pkt, len(ev.Frame))
+			tunnelBytes += uint64(split[metrics.ClassTunnel])
+		})
+	}
+
+	scenario.NewCBR(topo.Sched, 1, 100*time.Millisecond, 64, func(p []byte) {
+		a := src.MN.HomeAddress
+		u := &ipv6.UDP{SrcPort: scenario.WorkloadPort, DstPort: scenario.WorkloadPort, Payload: p}
+		pkt := &ipv6.Packet{
+			Hdr:     ipv6.Header{Src: a, Dst: scenario.Group, HopLimit: ipv6.DefaultHopLimit},
+			Proto:   ipv6.ProtoUDP,
+			Payload: u.Marshal(a, scenario.Group),
+		}
+		_ = src.Node.OutputOn(src.Iface, pkt)
+	})
+
+	topo.Run(20 * time.Second)
+	moveAt := topo.Sched.Now()
+	topo.Move(m, depth)
+	// Snapshot the tunnel-byte counter once the post-move state settles,
+	// so the per-datagram figure covers only steady-state deliveries.
+	var tunnelAtSettle uint64
+	settled := moveAt + sim.Time(20*time.Second)
+	topo.Sched.At(settled, func() { tunnelAtSettle = tunnelBytes })
+	topo.Run(60 * time.Second)
+
+	p := SLDPoint{Depth: depth, Tunnel: tunnel, OptimalHops: depth}
+	if d, ok := probe.FirstAfter(moveAt); ok {
+		p.JoinDelay = d.At.Sub(moveAt)
+	}
+	p.MeanHops = probe.MeanHops(settled, sim.Time(1<<62))
+	if n := probe.CountBetween(settled, sim.Time(1<<62)); n > 0 {
+		p.TunnelBytesPerDgram = float64(tunnelBytes-tunnelAtSettle) / float64(n)
+	}
+	return p
+}
+
+// SLDTable renders the depth sweep.
+func SLDTable(points []SLDPoint) string {
+	cols := []string{"join(ms)", "hops", "optimal", "tun(B/dgram)"}
+	rows := make([]metrics.Row, 0, len(points))
+	for _, p := range points {
+		mode := "local "
+		if p.Tunnel {
+			mode = "tunnel"
+		}
+		rows = append(rows, metrics.Row{
+			Label: fmt.Sprintf("depth=%-2d %s", p.Depth, mode),
+			Values: map[string]float64{
+				"join(ms)":     float64(p.JoinDelay.Milliseconds()),
+				"hops":         p.MeanHops,
+				"optimal":      float64(p.OptimalHops),
+				"tun(B/dgram)": p.TunnelBytesPerDgram,
+			},
+		})
+	}
+	return metrics.Table("SLD: receive modes vs roaming depth (line topology)", cols, rows)
+}

@@ -1,0 +1,318 @@
+package mip6mcast
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// These tests assert the paper's qualitative claims hold as measured
+// relationships. They are the heart of the reproduction; EXPERIMENTS.md
+// records the numbers.
+
+func TestF1InitialTree(t *testing.T) {
+	res := RunF1(DefaultOptions())
+	// All receivers stream.
+	for _, name := range []string{"R1", "R2", "R3"} {
+		if res.Delivered[name] < int(res.Sent)-60 {
+			t.Errorf("%s delivered %d of %d", name, res.Delivered[name], res.Sent)
+		}
+	}
+	// Links 1-4 carry the tree; 5 sees only the initial flood; 6 nothing.
+	for _, n := range []string{"L1", "L2", "L3", "L4"} {
+		if res.DataBytesPerLink[n] == 0 {
+			t.Errorf("tree link %s carried no data", n)
+		}
+	}
+	if res.FloodFramesL5 > 50 {
+		t.Errorf("L5 carried %d frames; pruning failed", res.FloodFramesL5)
+	}
+	if res.FramesL6 != 0 {
+		t.Errorf("L6 carried %d frames", res.FramesL6)
+	}
+	if len(res.TreeAtD) != 1 {
+		t.Fatalf("D has %d (S,G) entries", len(res.TreeAtD))
+	}
+	d := res.TreeAtD[0]
+	if len(d.ForwardingOn) != 1 || d.ForwardingOn[0] != "L4" || d.Upstream != "L3" {
+		t.Errorf("D's tree state: %+v", d)
+	}
+}
+
+func TestF2JoinAndLeaveDelays(t *testing.T) {
+	// With unsolicited Reports (paper's recommendation): join is fast.
+	fast := RunF2(DefaultOptions(), true)
+	if !fast.Rejoined {
+		t.Fatal("receiver never rejoined with unsolicited reports")
+	}
+	// Join delay: movement detection (~RS/RA, <1.5s) + report + graft.
+	if fast.JoinDelay > 3*time.Second {
+		t.Errorf("join delay with unsolicited reports = %v", fast.JoinDelay)
+	}
+	// Leave delay is bounded by T_MLI = 260s and should approach it.
+	tmli := DefaultMLDConfig().ListenerInterval()
+	if fast.LeaveDelay > tmli+10*time.Second {
+		t.Errorf("leave delay %v exceeds T_MLI %v", fast.LeaveDelay, tmli)
+	}
+	if fast.LeaveDelay < tmli/3 {
+		t.Errorf("leave delay %v suspiciously small vs T_MLI %v", fast.LeaveDelay, tmli)
+	}
+	if fast.WastedBytes == 0 {
+		t.Error("no wasted bytes measured on the abandoned link")
+	}
+
+	// Without unsolicited Reports: join waits for the next Query — the
+	// paper's "far too high" case.
+	slow := RunF2(DefaultOptions(), false)
+	if !slow.Rejoined {
+		t.Fatal("receiver never rejoined while waiting for query")
+	}
+	if slow.JoinDelay < 5*time.Second {
+		t.Errorf("join delay without unsolicited reports = %v; should wait for a Query", slow.JoinDelay)
+	}
+	maxJoin := DefaultMLDConfig().QueryInterval + DefaultMLDConfig().MaxResponseDelay + 5*time.Second
+	if slow.JoinDelay > maxJoin {
+		t.Errorf("join delay %v exceeds T_Query+T_RespDel bound %v", slow.JoinDelay, maxJoin)
+	}
+	if slow.JoinDelay <= fast.JoinDelay {
+		t.Error("unsolicited reports did not reduce join delay")
+	}
+}
+
+func TestF3TunnelReceiver(t *testing.T) {
+	for _, variant := range []HAVariant{VariantGroupListBU, VariantTunneledMLD} {
+		res := RunF3(DefaultOptions(), variant)
+		if !res.Rejoined {
+			t.Fatalf("variant %d: never received via tunnel", variant)
+		}
+		// Join delay ≈ movement detection + binding registration: well
+		// under any MLD timer.
+		if res.JoinDelay > 5*time.Second {
+			t.Errorf("variant %d: join delay via HA = %v", variant, res.JoinDelay)
+		}
+		if res.HATunneled == 0 {
+			t.Errorf("variant %d: HA tunneled nothing", variant)
+		}
+		if res.TunnelOverheadBytes == 0 {
+			t.Errorf("variant %d: no tunnel overhead measured", variant)
+		}
+		// Routing is suboptimal: R3 sits on the sender's own link (optimal
+		// 0 hops) but datagrams detour via home agent D.
+		if res.OptimalHops != 0 {
+			t.Errorf("variant %d: optimal hops = %d, want 0", variant, res.OptimalHops)
+		}
+		if res.MeanHops < 3 {
+			t.Errorf("variant %d: mean hops = %.1f; tunnel detour should cross ≥4 router hops", variant, res.MeanHops)
+		}
+	}
+}
+
+func TestF4MobileSender(t *testing.T) {
+	tun := RunF4(DefaultOptions(), true)
+	loc := RunF4(DefaultOptions(), false)
+
+	// Reverse tunneling: the tree survives the move.
+	if tun.NewTreesBuilt != 0 {
+		t.Errorf("tunnel: %d new trees built, want 0", tun.NewTreesBuilt)
+	}
+	if tun.TunnelOverheadBytes == 0 {
+		t.Error("tunnel: no tunnel bytes")
+	}
+	// Local sending: a brand-new source-rooted tree is flooded, and the
+	// stale tree lingers (peak state doubles).
+	if loc.NewTreesBuilt == 0 {
+		t.Error("local: no new tree built after sender move")
+	}
+	if loc.PeakSGEntries <= tun.PeakSGEntries {
+		t.Errorf("local peak SG %d not above tunnel peak %d (stale trees should linger)",
+			loc.PeakSGEntries, tun.PeakSGEntries)
+	}
+	// Both must keep delivering to the static receivers after the move.
+	for _, name := range []string{"R1", "R2"} {
+		if tun.DeliveredAfterMove[name] < 500 {
+			t.Errorf("tunnel: %s got %d after move", name, tun.DeliveredAfterMove[name])
+		}
+		if loc.DeliveredAfterMove[name] < 400 {
+			t.Errorf("local: %s got %d after move", name, loc.DeliveredAfterMove[name])
+		}
+	}
+}
+
+func TestT1FourApproaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long comparison run")
+	}
+	rows := RunT1(FastMLDOptions(30))
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]T1Row{}
+	for _, r := range rows {
+		byName[r.Approach.String()] = r
+	}
+	local := byName["local-membership"]
+	bidir := byName["bidir-tunnel"]
+	mn2ha := byName["uni-tunnel-mn-to-ha"]
+	ha2mn := byName["uni-tunnel-ha-to-mn"]
+
+	// Paper §4.3.2: "the most important advantage ... a mobile receiver
+	// does not experience any significant join delay".
+	if bidir.JoinDelayR3 >= local.JoinDelayR3 && local.JoinDelayR3 > 2*time.Second {
+		t.Errorf("bidir join %v not below local join %v", bidir.JoinDelayR3, local.JoinDelayR3)
+	}
+	// Tunneled reception costs tunnel bytes; local membership costs none.
+	if local.TunnelBytes != 0 && local.TunnelBytes >= bidir.TunnelBytes {
+		t.Errorf("tunnel bytes: local %d vs bidir %d", local.TunnelBytes, bidir.TunnelBytes)
+	}
+	// HA load ordering (paper: bi-directional highest, local none/lowest).
+	if !(local.HALoad <= mn2ha.HALoad && mn2ha.HALoad <= bidir.HALoad+1) {
+		t.Errorf("HA load ordering violated: local=%d mn2ha=%d bidir=%d",
+			local.HALoad, mn2ha.HALoad, bidir.HALoad)
+	}
+	// Approaches that send locally build new trees: more peak (S,G) state.
+	if ha2mn.PeakSG < bidir.PeakSG {
+		t.Errorf("peak SG: ha2mn=%d < bidir=%d (local sending should add stale trees)",
+			ha2mn.PeakSG, bidir.PeakSG)
+	}
+	t.Logf("\n%s", T1Table(rows))
+}
+
+func TestS44TimerSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sweep")
+	}
+	points := RunS44([]int{10, 30, 125}, false, 2)
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Join and leave delay must grow with the query interval...
+	if !(points[0].JoinDelay < points[2].JoinDelay) {
+		t.Errorf("join delay not increasing: %v vs %v", points[0].JoinDelay, points[2].JoinDelay)
+	}
+	if !(points[0].LeaveDelay < points[2].LeaveDelay) {
+		t.Errorf("leave delay not increasing: %v vs %v", points[0].LeaveDelay, points[2].LeaveDelay)
+	}
+	// ...while MLD signaling cost shrinks.
+	if !(points[0].MLDBytesPerHour > points[2].MLDBytesPerHour) {
+		t.Errorf("MLD cost not decreasing: %.0f vs %.0f", points[0].MLDBytesPerHour, points[2].MLDBytesPerHour)
+	}
+	// The paper's argument: the signaling cost of fast queries is small
+	// compared with the bandwidth saved by the lower leave delay.
+	saved := float64(points[2].WastedBytes - points[0].WastedBytes)
+	extra := (points[0].MLDBytesPerHour - points[2].MLDBytesPerHour) / 3600 * points[2].LeaveDelay.Seconds()
+	if saved <= extra {
+		t.Errorf("timer tuning not worthwhile: saved %.0f B vs extra %.0f B", saved, extra)
+	}
+	t.Logf("\n%s", S44Table(points))
+}
+
+func TestS431SenderCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	res := RunS431(DefaultOptions(), 3, 60*time.Second)
+	if res.NewTrees < 3 {
+		t.Errorf("new trees = %d for 3 moves", res.NewTrees)
+	}
+	if res.Asserts == 0 {
+		t.Error("no asserts despite stale-source windows on on-tree links")
+	}
+	if res.PeakSG < 2 {
+		t.Errorf("peak SG = %d; stale trees should coexist", res.PeakSG)
+	}
+}
+
+func TestSMGMultiGroupScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	points := RunSMG(FastMLDOptions(30), []int{4, 16})
+	// Below the Figure 5 capacity: groups ride the Binding Update.
+	if points[0].SubOptions != 1 || points[0].MaxBUBytes <= 72 {
+		t.Errorf("4 groups: bu=%dB subopts=%d", points[0].MaxBUBytes, points[0].SubOptions)
+	}
+	// Beyond capacity: fallback to tunneled MLD; full delivery both ways.
+	for _, p := range points {
+		if p.Delivered < 5500 {
+			t.Errorf("groups=%d delivered %d", p.Groups, p.Delivered)
+		}
+		if p.JoinDelays.N() != p.Groups {
+			t.Errorf("groups=%d: only %d groups ever delivered", p.Groups, p.JoinDelays.N())
+		}
+	}
+	if points[1].HATunneledPerSec < 45 {
+		t.Errorf("16 groups: HA rate %.1f/s", points[1].HATunneledPerSec)
+	}
+}
+
+func TestSLDDepthScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	points := RunSLD(FastMLDOptions(30), []int{2, 6})
+	byKey := map[string]SLDPoint{}
+	for _, p := range points {
+		byKey[fmt.Sprintf("%d-%v", p.Depth, p.Tunnel)] = p
+	}
+	// Local: optimal path at every depth.
+	if p := byKey["6-false"]; p.MeanHops != 6 || p.TunnelBytesPerDgram != 0 {
+		t.Errorf("local depth 6: %+v", p)
+	}
+	// Tunnel: overhead linear in depth (40 B per crossed link).
+	t2, t6 := byKey["2-true"], byKey["6-true"]
+	if t2.TunnelBytesPerDgram != 80 || t6.TunnelBytesPerDgram != 240 {
+		t.Errorf("tunnel bytes/dgram = %v, %v; want 80, 240", t2.TunnelBytesPerDgram, t6.TunnelBytesPerDgram)
+	}
+}
+
+func TestSMTUTunnelBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	opt := FastMLDOptions(30)
+	pts := RunSMTU(opt, []int{1412, 1413}, 0)
+	fits, over := pts[0], pts[1]
+	if fits.Fragmented || !over.Fragmented {
+		t.Fatalf("fragmentation boundary wrong: %+v / %+v", fits, over)
+	}
+	if fits.OuterFrame != 1500 || over.OuterFrame != 1501 {
+		t.Fatalf("outer sizes %d/%d", fits.OuterFrame, over.OuterFrame)
+	}
+	// One byte over the boundary doubles the tunnel frame count...
+	if over.TunnelFramesPerDgram < 1.8*fits.TunnelFramesPerDgram {
+		t.Fatalf("frames/dgram %f vs %f", over.TunnelFramesPerDgram, fits.TunnelFramesPerDgram)
+	}
+	// ...but lossless delivery stays complete either way.
+	for _, p := range pts {
+		if p.DeliveryTunnel < 0.99 || p.DeliveryLocal < 0.99 {
+			t.Fatalf("lossless delivery incomplete: %+v", p)
+		}
+	}
+	// Under loss, fragmentation amplifies the tunnel receiver's loss while
+	// the local receiver is unaffected by the boundary.
+	lossy := RunSMTU(opt, []int{1412, 1413}, 0.05)
+	if lossy[1].DeliveryTunnel >= lossy[0].DeliveryTunnel {
+		t.Fatalf("no loss amplification: %.3f vs %.3f",
+			lossy[1].DeliveryTunnel, lossy[0].DeliveryTunnel)
+	}
+}
+
+func TestS432TunnelConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long run")
+	}
+	points := RunS432(FastMLDOptions(30), []int{1, 4})
+	if len(points) != 2 {
+		t.Fatal("points")
+	}
+	// Local membership: one multicast copy regardless of N.
+	ratioLocal := points[1].LocalBytesPerDgram / points[0].LocalBytesPerDgram
+	if ratioLocal > 1.5 {
+		t.Errorf("local bytes grew %.2fx with N", ratioLocal)
+	}
+	// Tunnels: N unicast copies.
+	ratioTunnel := points[1].TunnelBytesPerDgram / points[0].TunnelBytesPerDgram
+	if ratioTunnel < 2.5 {
+		t.Errorf("tunnel bytes grew only %.2fx for 4x receivers", ratioTunnel)
+	}
+}

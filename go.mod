@@ -1,0 +1,3 @@
+module mip6mcast
+
+go 1.22

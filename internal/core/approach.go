@@ -1,0 +1,96 @@
+// Package core implements the paper's contribution: the four approaches for
+// providing PIM-DM multicast to Mobile IPv6 hosts (its Table 1), as
+// composable send and receive modes on the mobile host, together with the
+// two home-agent variants of Section 4.3.2 — a PIM-capable home agent that
+// terminates MLD Reports tunneled from the mobile node, and a plain home
+// agent driven by the Multicast Group List Sub-Option in extended Binding
+// Updates (the paper's Figure 5 proposal).
+package core
+
+// SendMode selects how a mobile host sends multicast datagrams (paper
+// §4.2.2).
+type SendMode uint8
+
+// Send modes.
+const (
+	// SendLocal transmits on the visited foreign link with the current
+	// care-of address as source (approach A). PIM-DM sees a new source and
+	// builds a fresh distribution tree, flooding first.
+	SendLocal SendMode = iota
+	// SendHomeTunnel reverse-tunnels datagrams to the home agent, which
+	// re-originates them on the home link (approach B): the existing tree
+	// keeps working.
+	SendHomeTunnel
+)
+
+// ReceiveMode selects how a mobile host receives multicast (paper §4.2.1).
+type ReceiveMode uint8
+
+// Receive modes.
+const (
+	// ReceiveLocal joins via MLD on the visited foreign link (approach A):
+	// optimal routing, but join delay after each movement and leave delay
+	// on the previous link.
+	ReceiveLocal ReceiveMode = iota
+	// ReceiveHomeTunnel keeps group membership at the home agent, which
+	// tunnels group traffic to the care-of address (approach B).
+	ReceiveHomeTunnel
+)
+
+// HAVariant selects how membership reaches the home agent when receiving
+// through the tunnel (paper §4.3.2's two solutions).
+type HAVariant uint8
+
+// Home-agent variants.
+const (
+	// VariantGroupListBU carries the Multicast Group List Sub-Option in
+	// extended Binding Updates (the paper's Figure 5 proposal); membership
+	// lives exactly as long as the binding.
+	VariantGroupListBU HAVariant = iota
+	// VariantTunneledMLD sends ordinary MLD Reports through the tunnel to
+	// a PIM-capable home agent that treats the tunnel as an interface;
+	// membership expires on the MLD Multicast Listener Interval.
+	VariantTunneledMLD
+)
+
+// Approach is one cell of the paper's Table 1 (plus the HA variant choice).
+type Approach struct {
+	Send    SendMode
+	Receive ReceiveMode
+	Variant HAVariant
+}
+
+// The four approaches of the paper's Section 4.2.3.
+var (
+	// LocalMembership: send and receive via the local multicast router on
+	// the visited link (approach 1).
+	LocalMembership = Approach{Send: SendLocal, Receive: ReceiveLocal}
+	// BidirectionalTunnel: send and receive through the home agent
+	// (approach 2).
+	BidirectionalTunnel = Approach{Send: SendHomeTunnel, Receive: ReceiveHomeTunnel}
+	// UniTunnelMNToHA: send through the home agent, receive locally
+	// (approach 3).
+	UniTunnelMNToHA = Approach{Send: SendHomeTunnel, Receive: ReceiveLocal}
+	// UniTunnelHAToMN: send locally, receive through the home agent
+	// (approach 4).
+	UniTunnelHAToMN = Approach{Send: SendLocal, Receive: ReceiveHomeTunnel}
+)
+
+// FourApproaches returns the paper's Table 1 in its numbering.
+func FourApproaches() []Approach {
+	return []Approach{LocalMembership, BidirectionalTunnel, UniTunnelMNToHA, UniTunnelHAToMN}
+}
+
+// String names the approach as the paper does.
+func (a Approach) String() string {
+	switch {
+	case a.Send == SendLocal && a.Receive == ReceiveLocal:
+		return "local-membership"
+	case a.Send == SendHomeTunnel && a.Receive == ReceiveHomeTunnel:
+		return "bidir-tunnel"
+	case a.Send == SendHomeTunnel && a.Receive == ReceiveLocal:
+		return "uni-tunnel-mn-to-ha"
+	default:
+		return "uni-tunnel-ha-to-mn"
+	}
+}

@@ -1,0 +1,277 @@
+package icmpv6
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+)
+
+var (
+	testSrc = ipv6.MustParseAddr("fe80::1")
+	testDst = ipv6.AllNodes
+	group   = ipv6.MustParseAddr("ff0e::101")
+)
+
+func roundtrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	b := Marshal(testSrc, testDst, msg)
+	got, err := Parse(testSrc, testDst, b)
+	if err != nil {
+		t.Fatalf("Parse(%T): %v", msg, err)
+	}
+	return got
+}
+
+func TestMLDQueryRoundtrip(t *testing.T) {
+	q := &MLD{Kind: TypeMLDQuery, MaxResponseDelay: 10 * time.Second}
+	got := roundtrip(t, q).(*MLD)
+	if got.Kind != TypeMLDQuery || got.MaxResponseDelay != 10*time.Second {
+		t.Errorf("roundtrip = %+v", got)
+	}
+	if !got.IsGeneralQuery() {
+		t.Error("query for :: not recognized as General Query")
+	}
+	spec := &MLD{Kind: TypeMLDQuery, MaxResponseDelay: time.Second, MulticastAddress: group}
+	got = roundtrip(t, spec).(*MLD)
+	if got.IsGeneralQuery() {
+		t.Error("address-specific query claimed to be general")
+	}
+	if got.MulticastAddress != group {
+		t.Errorf("group = %s", got.MulticastAddress)
+	}
+}
+
+func TestMLDReportAndDoneRoundtrip(t *testing.T) {
+	for _, kind := range []uint8{TypeMLDReport, TypeMLDDone} {
+		m := &MLD{Kind: kind, MulticastAddress: group}
+		got := roundtrip(t, m).(*MLD)
+		if got.Kind != kind || got.MulticastAddress != group {
+			t.Errorf("kind %d roundtrip = %+v", kind, got)
+		}
+		if got.MaxResponseDelay != 0 {
+			t.Errorf("kind %d carries response delay %v", kind, got.MaxResponseDelay)
+		}
+	}
+}
+
+func TestMLDValidation(t *testing.T) {
+	// Report for the unspecified address is invalid.
+	b := Marshal(testSrc, testDst, &MLD{Kind: TypeMLDReport})
+	if _, err := Parse(testSrc, testDst, b); err == nil {
+		t.Error("accepted Report for ::")
+	}
+	// MLD for a unicast address is invalid.
+	b = Marshal(testSrc, testDst, &MLD{Kind: TypeMLDReport, MulticastAddress: ipv6.MustParseAddr("2001:db8::1")})
+	if _, err := Parse(testSrc, testDst, b); err == nil {
+		t.Error("accepted Report for unicast address")
+	}
+}
+
+func TestMLDMaxResponseDelayClamps(t *testing.T) {
+	q := &MLD{Kind: TypeMLDQuery, MaxResponseDelay: 2 * time.Hour}
+	got := roundtrip(t, q).(*MLD)
+	if got.MaxResponseDelay != 65535*time.Millisecond {
+		t.Errorf("delay = %v, want clamp to 65.535s", got.MaxResponseDelay)
+	}
+	q = &MLD{Kind: TypeMLDQuery, MaxResponseDelay: -time.Second}
+	got = roundtrip(t, q).(*MLD)
+	if got.MaxResponseDelay != 0 {
+		t.Errorf("negative delay = %v, want 0", got.MaxResponseDelay)
+	}
+}
+
+func TestChecksumEnforced(t *testing.T) {
+	b := Marshal(testSrc, testDst, &MLD{Kind: TypeMLDQuery})
+	b[5] ^= 0x01
+	if _, err := Parse(testSrc, testDst, b); err == nil {
+		t.Fatal("accepted corrupted message")
+	}
+	// Wrong pseudo-header also fails.
+	b = Marshal(testSrc, testDst, &MLD{Kind: TypeMLDQuery})
+	if _, err := Parse(testSrc, ipv6.AllRouters, b); err == nil {
+		t.Fatal("accepted message under wrong pseudo-header")
+	}
+}
+
+func TestParseRejectsUnknownAndTruncated(t *testing.T) {
+	if _, err := Parse(testSrc, testDst, []byte{1, 2}); err == nil {
+		t.Error("accepted 2-byte message")
+	}
+	// Type 255 with a valid checksum.
+	raw := []byte{255, 0, 0, 0}
+	ck := ipv6.Checksum(testSrc, testDst, ipv6.ProtoICMPv6, raw)
+	raw[2], raw[3] = byte(ck>>8), byte(ck)
+	if _, err := Parse(testSrc, testDst, raw); err == nil {
+		t.Error("accepted unknown type")
+	}
+}
+
+func TestPacketTooBigRoundtrip(t *testing.T) {
+	invoking := make([]byte, 300) // will be truncated to 128
+	for i := range invoking {
+		invoking[i] = byte(i)
+	}
+	ptb := &PacketTooBig{MTU: 1280, Invoking: invoking}
+	got := roundtrip(t, ptb).(*PacketTooBig)
+	if got.MTU != 1280 {
+		t.Fatalf("mtu = %d", got.MTU)
+	}
+	if len(got.Invoking) != 128 {
+		t.Fatalf("invoking portion %d bytes, want truncation to 128", len(got.Invoking))
+	}
+	for i, b := range got.Invoking {
+		if b != byte(i) {
+			t.Fatal("invoking bytes mangled")
+		}
+	}
+	// Short invoking portions pass through whole.
+	small := &PacketTooBig{MTU: 1500, Invoking: []byte{1, 2, 3}}
+	got = roundtrip(t, small).(*PacketTooBig)
+	if len(got.Invoking) != 3 {
+		t.Fatalf("small invoking = %d bytes", len(got.Invoking))
+	}
+	// Truncated body rejected.
+	raw := []byte{TypePacketTooBig, 0, 0, 0, 0, 0}
+	ck := ipv6.Checksum(testSrc, testDst, ipv6.ProtoICMPv6, raw)
+	raw[2], raw[3] = byte(ck>>8), byte(ck)
+	if _, err := Parse(testSrc, testDst, raw); err == nil {
+		t.Fatal("accepted truncated packet-too-big")
+	}
+}
+
+func TestRouterSolicitRoundtrip(t *testing.T) {
+	if _, ok := roundtrip(t, &RouterSolicit{}).(*RouterSolicit); !ok {
+		t.Fatal("solicitation did not roundtrip")
+	}
+}
+
+func TestRouterAdvertRoundtrip(t *testing.T) {
+	ra := &RouterAdvert{
+		CurHopLimit:    64,
+		Managed:        true,
+		RouterLifetime: 1800 * time.Second,
+		Prefixes: []PrefixInfo{
+			{
+				PrefixLen: 64, OnLink: true, Autonomous: true,
+				ValidLifetime:     30 * 24 * time.Hour,
+				PreferredLifetime: 7 * 24 * time.Hour,
+				Prefix:            ipv6.MustParseAddr("2001:db8:6::"),
+			},
+			{
+				PrefixLen: 48, OnLink: true,
+				ValidLifetime: time.Hour,
+				Prefix:        ipv6.MustParseAddr("2001:db8::"),
+			},
+		},
+	}
+	got := roundtrip(t, ra).(*RouterAdvert)
+	if got.CurHopLimit != 64 || !got.Managed || got.Other {
+		t.Errorf("flags mangled: %+v", got)
+	}
+	if got.RouterLifetime != 1800*time.Second {
+		t.Errorf("lifetime = %v", got.RouterLifetime)
+	}
+	if len(got.Prefixes) != 2 {
+		t.Fatalf("prefixes = %+v", got.Prefixes)
+	}
+	p := got.Prefixes[0]
+	if p.Prefix != ipv6.MustParseAddr("2001:db8:6::") || p.PrefixLen != 64 || !p.Autonomous || !p.OnLink {
+		t.Errorf("prefix 0 = %+v", p)
+	}
+	if p.ValidLifetime != 30*24*time.Hour || p.PreferredLifetime != 7*24*time.Hour {
+		t.Errorf("prefix 0 lifetimes = %v/%v", p.ValidLifetime, p.PreferredLifetime)
+	}
+	if got.Prefixes[1].Autonomous {
+		t.Error("prefix 1 A flag invented")
+	}
+}
+
+func TestRouterAdvertNoPrefixes(t *testing.T) {
+	got := roundtrip(t, &RouterAdvert{RouterLifetime: time.Minute}).(*RouterAdvert)
+	if len(got.Prefixes) != 0 {
+		t.Errorf("phantom prefixes: %+v", got.Prefixes)
+	}
+}
+
+func TestRouterAdvertSkipsUnknownOptions(t *testing.T) {
+	ra := &RouterAdvert{Prefixes: []PrefixInfo{{PrefixLen: 64, Autonomous: true, Prefix: ipv6.MustParseAddr("2001:db8::")}}}
+	b := Marshal(testSrc, testDst, ra)
+	// Append an unknown NDP option (type 200, one 8-octet unit) and refresh
+	// the checksum.
+	b = append(b, 200, 1, 0, 0, 0, 0, 0, 0)
+	b[2], b[3] = 0, 0
+	ck := ipv6.Checksum(testSrc, testDst, ipv6.ProtoICMPv6, b)
+	b[2], b[3] = byte(ck>>8), byte(ck)
+	got, err := Parse(testSrc, testDst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.(*RouterAdvert).Prefixes) != 1 {
+		t.Error("unknown option disturbed prefix parsing")
+	}
+}
+
+func TestRouterAdvertRejectsMalformedOption(t *testing.T) {
+	ra := &RouterAdvert{}
+	b := Marshal(testSrc, testDst, ra)
+	// Zero-length option.
+	b = append(b, optPrefixInfo, 0)
+	b[2], b[3] = 0, 0
+	ck := ipv6.Checksum(testSrc, testDst, ipv6.ProtoICMPv6, b)
+	b[2], b[3] = byte(ck>>8), byte(ck)
+	if _, err := Parse(testSrc, testDst, b); err == nil {
+		t.Error("accepted zero-length NDP option")
+	}
+}
+
+// Property: parsing arbitrary bytes never panics.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %x: %v", b, r)
+			}
+		}()
+		Parse(testSrc, testDst, b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MLD roundtrip preserves kind, group, and (for queries) delay.
+func TestQuickMLDRoundtrip(t *testing.T) {
+	f := func(kindSel uint8, delayMs uint16, tail [16]byte) bool {
+		kind := []uint8{TypeMLDQuery, TypeMLDReport, TypeMLDDone}[int(kindSel)%3]
+		group := ipv6.Addr(tail)
+		group[0] = 0xff
+		m := &MLD{Kind: kind, MulticastAddress: group}
+		if kind == TypeMLDQuery {
+			m.MaxResponseDelay = time.Duration(delayMs) * time.Millisecond
+		}
+		b := Marshal(testSrc, testDst, m)
+		got, err := Parse(testSrc, testDst, b)
+		if err != nil {
+			return false
+		}
+		g := got.(*MLD)
+		return g.Kind == kind && g.MulticastAddress == group && g.MaxResponseDelay == m.MaxResponseDelay
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMLDMarshalParse(b *testing.B) {
+	m := &MLD{Kind: TypeMLDReport, MulticastAddress: group}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := Marshal(testSrc, testDst, m)
+		if _, err := Parse(testSrc, testDst, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package ipv6 implements the IPv6 substrate the simulated network runs on:
+// 128-bit addresses, the fixed header, extension headers (Hop-by-Hop options,
+// Destination options, Routing, Fragment), the Mobile IPv6 destination
+// options from draft-ietf-mobileip-ipv6 (Binding Update, Binding
+// Acknowledgement, Binding Request, Home Address) including the Multicast
+// Group List sub-option proposed by the paper (its Figure 5), UDP, the
+// RFC 2460 upper-layer checksum, and RFC 2473 IPv6-in-IPv6 tunneling.
+//
+// Everything here is a real wire codec: packets travel between simulated
+// nodes as encoded bytes and are re-parsed at every hop.
+package ipv6
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Addr is a 128-bit IPv6 address. Being a value (array) type it is
+// comparable and usable as a map key, which the protocol engines rely on.
+type Addr [16]byte
+
+// Well-known addresses.
+var (
+	// Unspecified is ::, used as source before an address is configured.
+	Unspecified = Addr{}
+	// Loopback is ::1.
+	Loopback = Addr{15: 1}
+	// AllNodes is ff02::1, the link-scope all-nodes multicast group.
+	AllNodes = MustParseAddr("ff02::1")
+	// AllRouters is ff02::2, the link-scope all-routers multicast group.
+	// MLD Done messages are sent here (RFC 2710 §4).
+	AllRouters = MustParseAddr("ff02::2")
+	// AllMLDv2Routers is ff02::16 (unused by MLDv1 but reserved here).
+	AllMLDv2Routers = MustParseAddr("ff02::16")
+	// AllPIMRouters is ff02::d, destination of PIM control messages.
+	AllPIMRouters = MustParseAddr("ff02::d")
+)
+
+// ParseAddr parses a textual IPv6 address. It accepts full and
+// "::"-compressed forms. IPv4-mapped tails are not supported (the simulator
+// is pure IPv6).
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	if s == "" {
+		return a, fmt.Errorf("ipv6: empty address")
+	}
+	var head, tail []uint16
+	ellipsis := false
+
+	parsePart := func(part string, dst *[]uint16) error {
+		if part == "" {
+			return fmt.Errorf("ipv6: empty group in %q", s)
+		}
+		if len(part) > 4 {
+			return fmt.Errorf("ipv6: group %q too long in %q", part, s)
+		}
+		var v uint32
+		for _, c := range part {
+			var d uint32
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint32(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint32(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint32(c-'A') + 10
+			default:
+				return fmt.Errorf("ipv6: bad hex digit %q in %q", c, s)
+			}
+			v = v<<4 | d
+		}
+		*dst = append(*dst, uint16(v))
+		return nil
+	}
+
+	if i := strings.Index(s, "::"); i >= 0 {
+		ellipsis = true
+		left, right := s[:i], s[i+2:]
+		if strings.Contains(right, "::") {
+			return a, fmt.Errorf("ipv6: multiple :: in %q", s)
+		}
+		if left != "" {
+			for _, p := range strings.Split(left, ":") {
+				if err := parsePart(p, &head); err != nil {
+					return a, err
+				}
+			}
+		}
+		if right != "" {
+			for _, p := range strings.Split(right, ":") {
+				if err := parsePart(p, &tail); err != nil {
+					return a, err
+				}
+			}
+		}
+	} else {
+		for _, p := range strings.Split(s, ":") {
+			if err := parsePart(p, &head); err != nil {
+				return a, err
+			}
+		}
+	}
+
+	n := len(head) + len(tail)
+	switch {
+	case ellipsis && n > 7:
+		return a, fmt.Errorf("ipv6: address %q too long", s)
+	case !ellipsis && n != 8:
+		return a, fmt.Errorf("ipv6: address %q has %d groups, want 8", s, n)
+	}
+	for i, g := range head {
+		a[2*i] = byte(g >> 8)
+		a[2*i+1] = byte(g)
+	}
+	for i, g := range tail {
+		j := 8 - len(tail) + i
+		a[2*j] = byte(g >> 8)
+		a[2*j+1] = byte(g)
+	}
+	return a, nil
+}
+
+// MustParseAddr is ParseAddr that panics on error; for constants and tests.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address with RFC 5952 zero compression (longest run of
+// two or more zero groups replaced by "::", leftmost on tie, lowercase hex).
+func (a Addr) String() string {
+	var groups [8]uint16
+	for i := range groups {
+		groups[i] = uint16(a[2*i])<<8 | uint16(a[2*i+1])
+	}
+	// Find longest run of zero groups (length >= 2).
+	best, bestLen := -1, 1
+	for i := 0; i < 8; {
+		if groups[i] != 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < 8 && groups[j] == 0 {
+			j++
+		}
+		if j-i > bestLen {
+			best, bestLen = i, j-i
+		}
+		i = j
+	}
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		if i == best {
+			b.WriteString("::")
+			i += bestLen - 1
+			continue
+		}
+		if i > 0 && !(best >= 0 && i == best+bestLen) {
+			b.WriteByte(':')
+		}
+		fmt.Fprintf(&b, "%x", groups[i])
+	}
+	if best == 0 && bestLen == 8 {
+		return "::"
+	}
+	return b.String()
+}
+
+// IsUnspecified reports whether a is ::.
+func (a Addr) IsUnspecified() bool { return a == Unspecified }
+
+// IsMulticast reports whether a is in ff00::/8.
+func (a Addr) IsMulticast() bool { return a[0] == 0xff }
+
+// IsLinkLocalUnicast reports whether a is in fe80::/10.
+func (a Addr) IsLinkLocalUnicast() bool { return a[0] == 0xfe && a[1]&0xc0 == 0x80 }
+
+// MulticastScope returns the 4-bit scope field of a multicast address
+// (1 = interface-local, 2 = link-local, 5 = site-local, 8 = org, e = global),
+// or 0 if a is not multicast.
+func (a Addr) MulticastScope() byte {
+	if !a.IsMulticast() {
+		return 0
+	}
+	return a[1] & 0x0f
+}
+
+// IsLinkScopedMulticast reports whether a is a link-local-scope multicast
+// address (ff02::/16). Link-scoped groups are never forwarded by routers.
+func (a Addr) IsLinkScopedMulticast() bool {
+	return a.IsMulticast() && a.MulticastScope() == 2
+}
+
+// Prefix masks a to its leading bits leading bits, zeroing the rest.
+func (a Addr) Prefix(bits int) Addr {
+	if bits < 0 {
+		bits = 0
+	}
+	if bits > 128 {
+		bits = 128
+	}
+	var p Addr
+	full := bits / 8
+	copy(p[:full], a[:full])
+	if rem := bits % 8; rem != 0 {
+		p[full] = a[full] & (byte(0xff) << (8 - rem))
+	}
+	return p
+}
+
+// MatchesPrefix reports whether a and b share their first bits bits.
+func (a Addr) MatchesPrefix(b Addr, bits int) bool {
+	return a.Prefix(bits) == b.Prefix(bits)
+}
+
+// WithInterfaceID combines a /64 prefix with a 64-bit interface identifier,
+// the stateless address autoconfiguration (RFC 2462) composition step.
+func (a Addr) WithInterfaceID(iid uint64) Addr {
+	out := a.Prefix(64)
+	for i := 0; i < 8; i++ {
+		out[8+i] = byte(iid >> (56 - 8*i))
+	}
+	return out
+}
+
+// InterfaceID extracts the low 64 bits.
+func (a Addr) InterfaceID() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(a[8+i])
+	}
+	return v
+}
+
+// SolicitedNode returns the solicited-node multicast address
+// ff02::1:ffXX:XXXX corresponding to a (RFC 4291 §2.7.1).
+func (a Addr) SolicitedNode() Addr {
+	sn := MustParseAddr("ff02::1:ff00:0")
+	sn[13] = a[13]
+	sn[14] = a[14]
+	sn[15] = a[15]
+	return sn
+}
+
+// LinkLocalFromIID builds fe80::/64 with the given interface identifier.
+func LinkLocalFromIID(iid uint64) Addr {
+	return MustParseAddr("fe80::").WithInterfaceID(iid)
+}
+
+// Less provides a total order on addresses (lexicographic on bytes). MLD
+// querier election and PIM assert tie-breaks use address ordering.
+func (a Addr) Less(b Addr) bool {
+	for i := 0; i < 16; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Compare returns -1, 0 or 1 by byte-lexicographic order.
+func (a Addr) Compare(b Addr) int {
+	for i := 0; i < 16; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,249 @@
+package ipv6
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddrRoundtrip(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"::", "::"},
+		{"::1", "::1"},
+		{"fe80::1", "fe80::1"},
+		{"ff02::2", "ff02::2"},
+		{"2001:db8:0:0:0:0:0:1", "2001:db8::1"},
+		{"2001:0db8:0000:0000:0000:ff00:0042:8329", "2001:db8::ff00:42:8329"},
+		{"1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8"},
+		{"1:0:0:2:0:0:0:3", "1:0:0:2::3"},      // longest run wins
+		{"1:0:0:0:2:0:0:3", "1::2:0:0:3"},      // leftmost on tie-ish (left is longer)
+		{"0:0:1:0:0:0:0:2", "0:0:1::2"},        // run of 4 beats run of 2
+		{"A:B:C:D:E:F:1:2", "a:b:c:d:e:f:1:2"}, // lowercase output
+		{"2001:db8::", "2001:db8::"},           // trailing run
+		{"::2:3:4:5:6:7:8", "0:2:3:4:5:6:7:8"}, // single zero group not compressed
+		{"fe80:0:0:0:0:0:0:0", "fe80::"},
+	}
+	for _, c := range cases {
+		a, err := ParseAddr(c.in)
+		if err != nil {
+			t.Errorf("ParseAddr(%q): %v", c.in, err)
+			continue
+		}
+		if got := a.String(); got != c.want {
+			t.Errorf("ParseAddr(%q).String() = %q, want %q", c.in, got, c.want)
+		}
+		// Reparse must give the same address.
+		b, err := ParseAddr(a.String())
+		if err != nil || b != a {
+			t.Errorf("reparse of %q failed: %v", a.String(), err)
+		}
+	}
+}
+
+func TestParseAddrRejectsInvalid(t *testing.T) {
+	bad := []string{
+		"", ":", ":::", "1::2::3", "12345::", "g::1",
+		"1:2:3:4:5:6:7", "1:2:3:4:5:6:7:8:9", "1:2:3:4:5:6:7:8::",
+		"::1:2:3:4:5:6:7:8", "fe80::%eth0", "1.2.3.4",
+	}
+	for _, s := range bad {
+		if a, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) = %v, want error", s, a)
+		}
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseAddr did not panic on bad input")
+		}
+	}()
+	MustParseAddr("not an address")
+}
+
+func TestWellKnownAddresses(t *testing.T) {
+	if AllNodes.String() != "ff02::1" {
+		t.Errorf("AllNodes = %s", AllNodes)
+	}
+	if AllRouters.String() != "ff02::2" {
+		t.Errorf("AllRouters = %s", AllRouters)
+	}
+	if AllPIMRouters.String() != "ff02::d" {
+		t.Errorf("AllPIMRouters = %s", AllPIMRouters)
+	}
+	if Loopback.String() != "::1" {
+		t.Errorf("Loopback = %s", Loopback)
+	}
+	if !Unspecified.IsUnspecified() {
+		t.Error("Unspecified.IsUnspecified() = false")
+	}
+	if Loopback.IsUnspecified() {
+		t.Error("Loopback.IsUnspecified() = true")
+	}
+}
+
+func TestMulticastClassification(t *testing.T) {
+	cases := []struct {
+		addr       string
+		multicast  bool
+		linkScoped bool
+		scope      byte
+	}{
+		{"ff02::1", true, true, 2},
+		{"ff05::1:3", true, false, 5},
+		{"ff0e::101", true, false, 0xe},
+		{"ff01::1", true, false, 1},
+		{"2001:db8::1", false, false, 0},
+		{"fe80::1", false, false, 0},
+	}
+	for _, c := range cases {
+		a := MustParseAddr(c.addr)
+		if a.IsMulticast() != c.multicast {
+			t.Errorf("%s IsMulticast = %v", c.addr, a.IsMulticast())
+		}
+		if a.IsLinkScopedMulticast() != c.linkScoped {
+			t.Errorf("%s IsLinkScopedMulticast = %v", c.addr, a.IsLinkScopedMulticast())
+		}
+		if a.MulticastScope() != c.scope {
+			t.Errorf("%s scope = %d, want %d", c.addr, a.MulticastScope(), c.scope)
+		}
+	}
+}
+
+func TestLinkLocalUnicast(t *testing.T) {
+	if !MustParseAddr("fe80::1").IsLinkLocalUnicast() {
+		t.Error("fe80::1 not link-local")
+	}
+	if !MustParseAddr("febf::1").IsLinkLocalUnicast() {
+		t.Error("febf::1 not link-local (fe80::/10 covers it)")
+	}
+	if MustParseAddr("fec0::1").IsLinkLocalUnicast() {
+		t.Error("fec0::1 claimed link-local")
+	}
+	if MustParseAddr("2001:db8::1").IsLinkLocalUnicast() {
+		t.Error("global address claimed link-local")
+	}
+}
+
+func TestPrefixMasking(t *testing.T) {
+	a := MustParseAddr("2001:db8:aaaa:bbbb:cccc:dddd:eeee:ffff")
+	if got := a.Prefix(64); got != MustParseAddr("2001:db8:aaaa:bbbb::") {
+		t.Errorf("Prefix(64) = %s", got)
+	}
+	if got := a.Prefix(0); got != Unspecified {
+		t.Errorf("Prefix(0) = %s", got)
+	}
+	if got := a.Prefix(128); got != a {
+		t.Errorf("Prefix(128) = %s", got)
+	}
+	if got := a.Prefix(200); got != a {
+		t.Errorf("Prefix(200) = %s (should clamp)", got)
+	}
+	if got := a.Prefix(-5); got != Unspecified {
+		t.Errorf("Prefix(-5) = %s (should clamp)", got)
+	}
+	// Non-byte-aligned prefix.
+	b := MustParseAddr("ffff::")
+	if got := b.Prefix(10); got != MustParseAddr("ffc0::") {
+		t.Errorf("Prefix(10) = %s, want ffc0::", got)
+	}
+}
+
+func TestMatchesPrefix(t *testing.T) {
+	p := MustParseAddr("2001:db8:1::")
+	a := MustParseAddr("2001:db8:1::42")
+	b := MustParseAddr("2001:db8:2::42")
+	if !a.MatchesPrefix(p, 64) {
+		t.Error("same /64 does not match")
+	}
+	if b.MatchesPrefix(p, 64) {
+		t.Error("different /64 matches")
+	}
+	if !b.MatchesPrefix(p, 32) {
+		t.Error("same /32 does not match")
+	}
+}
+
+func TestSLAACComposition(t *testing.T) {
+	prefix := MustParseAddr("2001:db8:5::")
+	addr := prefix.WithInterfaceID(0x0123456789abcdef)
+	if addr.String() != "2001:db8:5:0:123:4567:89ab:cdef" {
+		t.Errorf("WithInterfaceID = %s", addr)
+	}
+	if addr.InterfaceID() != 0x0123456789abcdef {
+		t.Errorf("InterfaceID = %#x", addr.InterfaceID())
+	}
+	ll := LinkLocalFromIID(0x42)
+	if ll.String() != "fe80::42" {
+		t.Errorf("LinkLocalFromIID = %s", ll)
+	}
+	if !ll.IsLinkLocalUnicast() {
+		t.Error("link-local from IID not link-local")
+	}
+}
+
+func TestSolicitedNode(t *testing.T) {
+	a := MustParseAddr("2001:db8::1:800:200e:8c6c")
+	sn := a.SolicitedNode()
+	if sn.String() != "ff02::1:ff0e:8c6c" {
+		t.Errorf("SolicitedNode = %s", sn)
+	}
+	if !sn.IsLinkScopedMulticast() {
+		t.Error("solicited-node address not link-scoped multicast")
+	}
+}
+
+func TestAddrOrdering(t *testing.T) {
+	a := MustParseAddr("fe80::1")
+	b := MustParseAddr("fe80::2")
+	if !a.Less(b) || b.Less(a) || a.Less(a) {
+		t.Error("Less is not a strict order on fe80::1 < fe80::2")
+	}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Error("Compare inconsistent")
+	}
+}
+
+// Property: String/ParseAddr roundtrips for arbitrary addresses.
+func TestQuickAddrRoundtrip(t *testing.T) {
+	f := func(raw [16]byte) bool {
+		a := Addr(raw)
+		b, err := ParseAddr(a.String())
+		return err == nil && b == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Prefix is idempotent and monotone in specificity.
+func TestQuickPrefixIdempotent(t *testing.T) {
+	f := func(raw [16]byte, bits uint8) bool {
+		a := Addr(raw)
+		n := int(bits) % 129
+		p := a.Prefix(n)
+		return p.Prefix(n) == p && a.MatchesPrefix(p, n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare agrees with Less and is antisymmetric.
+func TestQuickCompareConsistent(t *testing.T) {
+	f := func(x, y [16]byte) bool {
+		a, b := Addr(x), Addr(y)
+		c := a.Compare(b)
+		switch {
+		case c == 0:
+			return a == b && !a.Less(b) && !b.Less(a)
+		case c < 0:
+			return a.Less(b) && !b.Less(a) && b.Compare(a) == 1
+		default:
+			return b.Less(a) && !a.Less(b) && b.Compare(a) == -1
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package ipv6
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumVerifies(t *testing.T) {
+	src := MustParseAddr("fe80::1")
+	dst := MustParseAddr("ff02::1")
+	payload := []byte{0x82, 0x00, 0x00, 0x00, 0x27, 0x10, 0, 0} // MLD-ish, checksum zeroed
+	ck := Checksum(src, dst, ProtoICMPv6, payload)
+	if ck == 0 {
+		t.Fatal("checksum of non-trivial payload is zero")
+	}
+	binary.BigEndian.PutUint16(payload[2:4], ck)
+	if !VerifyChecksum(src, dst, ProtoICMPv6, payload) {
+		t.Fatal("checksum does not verify after insertion")
+	}
+	payload[5] ^= 0xff
+	if VerifyChecksum(src, dst, ProtoICMPv6, payload) {
+		t.Fatal("corrupted payload still verifies")
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// The trailing odd byte must participate as the high-order byte of a
+	// virtual 16-bit word (RFC 1071).
+	src, dst := Loopback, Loopback
+	a := Checksum(src, dst, 59, []byte{1, 2, 3, 4, 5})
+	b := Checksum(src, dst, 59, []byte{1, 2, 3, 4, 6})
+	if a == b {
+		t.Fatal("trailing odd byte ignored by checksum")
+	}
+	// And it must be the HIGH byte: {..., 5} vs {..., 0, 5} differ in more
+	// than just length if the pad side were wrong. Verify directly against
+	// a reference computation.
+	want := func(p []byte, proto uint8) uint16 {
+		var sum uint32
+		for i := 0; i < 16; i += 2 {
+			sum += uint32(src[i])<<8 | uint32(src[i+1])
+			sum += uint32(dst[i])<<8 | uint32(dst[i+1])
+		}
+		sum += uint32(len(p)) + uint32(proto)
+		buf := append([]byte(nil), p...)
+		if len(buf)%2 == 1 {
+			buf = append(buf, 0)
+		}
+		for i := 0; i < len(buf); i += 2 {
+			sum += uint32(buf[i])<<8 | uint32(buf[i+1])
+		}
+		for sum>>16 != 0 {
+			sum = sum&0xffff + sum>>16
+		}
+		return ^uint16(sum)
+	}
+	p := []byte{0xab, 0xcd, 0xef}
+	if got := Checksum(src, dst, 17, p); got != want(p, 17) {
+		t.Fatalf("odd-length checksum = %#x, want %#x", got, want(p, 17))
+	}
+}
+
+func TestChecksumDependsOnPseudoHeader(t *testing.T) {
+	p := []byte{1, 2, 3, 4}
+	a, b := MustParseAddr("2001:db8::1"), MustParseAddr("2001:db8::2")
+	if Checksum(a, b, ProtoUDP, p) == Checksum(b, a, ProtoUDP, p) && a != b {
+		// src/dst swap yields same sum only because addition commutes over
+		// both addresses; that is actually expected for the Internet
+		// checksum. Distinguish via protocol instead.
+		t.Log("src/dst swap is sum-invariant (expected for one's-complement)")
+	}
+	if Checksum(a, b, ProtoUDP, p) == Checksum(a, b, ProtoICMPv6, p) {
+		t.Fatal("checksum ignores next-header value")
+	}
+	c := MustParseAddr("2001:db8::3")
+	if Checksum(a, b, ProtoUDP, p) == Checksum(a, c, ProtoUDP, p) {
+		t.Fatal("checksum ignores destination address")
+	}
+}
+
+// Property: inserting the computed checksum always verifies, for any payload
+// with at least 2 bytes (where we can embed it).
+func TestQuickChecksumSelfVerifies(t *testing.T) {
+	f := func(src, dst [16]byte, proto uint8, payload []byte) bool {
+		if len(payload) < 2 {
+			payload = append(payload, 0, 0)
+		}
+		p := append([]byte(nil), payload...)
+		p[0], p[1] = 0, 0
+		ck := Checksum(Addr(src), Addr(dst), proto, p)
+		binary.BigEndian.PutUint16(p[0:2], ck)
+		return VerifyChecksum(Addr(src), Addr(dst), proto, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPRoundtrip(t *testing.T) {
+	src := MustParseAddr("2001:db8::a")
+	dst := MustParseAddr("ff0e::101")
+	u := &UDP{SrcPort: 5000, DstPort: 6000, Payload: []byte("hello multicast")}
+	b := u.Marshal(src, dst)
+	got, err := ParseUDP(src, dst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 5000 || got.DstPort != 6000 || string(got.Payload) != "hello multicast" {
+		t.Errorf("roundtrip = %+v", got)
+	}
+}
+
+func TestUDPRejectsCorruption(t *testing.T) {
+	src, dst := MustParseAddr("2001:db8::a"), MustParseAddr("2001:db8::b")
+	b := (&UDP{SrcPort: 1, DstPort: 2, Payload: []byte{9}}).Marshal(src, dst)
+
+	short := b[:4]
+	if _, err := ParseUDP(src, dst, short); err == nil {
+		t.Error("accepted truncated UDP")
+	}
+	bad := append([]byte(nil), b...)
+	bad[8] ^= 0xff
+	if _, err := ParseUDP(src, dst, bad); err == nil {
+		t.Error("accepted corrupted payload")
+	}
+	wrongLen := append([]byte(nil), b...)
+	wrongLen[5]++
+	if _, err := ParseUDP(src, dst, wrongLen); err == nil {
+		t.Error("accepted wrong length field")
+	}
+	zeroCk := append([]byte(nil), b...)
+	zeroCk[6], zeroCk[7] = 0, 0
+	if _, err := ParseUDP(src, dst, zeroCk); err == nil {
+		t.Error("accepted zero checksum (forbidden over IPv6)")
+	}
+	// Wrong pseudo-header (delivered to a different destination).
+	if _, err := ParseUDP(src, MustParseAddr("2001:db8::c"), b); err == nil {
+		t.Error("accepted datagram under wrong pseudo-header")
+	}
+}
+
+// Property: UDP roundtrips for arbitrary ports and payloads.
+func TestQuickUDPRoundtrip(t *testing.T) {
+	src, dst := MustParseAddr("2001:db8::1"), MustParseAddr("ff0e::9")
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		u := &UDP{SrcPort: sp, DstPort: dp, Payload: payload}
+		got, err := ParseUDP(src, dst, u.Marshal(src, dst))
+		if err != nil {
+			return false
+		}
+		if got.SrcPort != sp || got.DstPort != dp || len(got.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkChecksum1500(b *testing.B) {
+	src, dst := MustParseAddr("2001:db8::1"), MustParseAddr("ff0e::9")
+	payload := make([]byte, 1500)
+	b.SetBytes(1500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Checksum(src, dst, ProtoUDP, payload)
+	}
+}

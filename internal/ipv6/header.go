@@ -1,0 +1,72 @@
+package ipv6
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol numbers carried in Next Header fields.
+const (
+	ProtoHopByHop uint8 = 0   // IPv6 Hop-by-Hop Options
+	ProtoUDP      uint8 = 17  // UDP
+	ProtoIPv6     uint8 = 41  // IPv6-in-IPv6 encapsulation (RFC 2473)
+	ProtoRouting  uint8 = 43  // Routing header
+	ProtoFragment uint8 = 44  // Fragment header
+	ProtoICMPv6   uint8 = 58  // ICMPv6 (includes MLD and NDP)
+	ProtoNoNext   uint8 = 59  // no next header
+	ProtoDestOpts uint8 = 60  // Destination Options
+	ProtoPIM      uint8 = 103 // Protocol Independent Multicast
+)
+
+// HeaderLen is the size of the fixed IPv6 header.
+const HeaderLen = 40
+
+// Version is the IP version encoded in every header.
+const Version = 6
+
+// DefaultHopLimit is the hop limit nodes use unless a protocol dictates
+// otherwise (link-scoped protocols such as MLD, NDP and PIM use 1 or 255).
+const DefaultHopLimit = 64
+
+// Header is the fixed IPv6 header (RFC 2460 §3).
+type Header struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	PayloadLen   uint16 // filled in by Packet.Encode
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     Addr
+}
+
+// marshal appends the 40-byte fixed header to b.
+func (h *Header) marshal(b []byte) []byte {
+	var w [HeaderLen]byte
+	w[0] = Version<<4 | h.TrafficClass>>4
+	w[1] = h.TrafficClass<<4 | byte(h.FlowLabel>>16&0x0f)
+	w[2] = byte(h.FlowLabel >> 8)
+	w[3] = byte(h.FlowLabel)
+	binary.BigEndian.PutUint16(w[4:6], h.PayloadLen)
+	w[6] = h.NextHeader
+	w[7] = h.HopLimit
+	copy(w[8:24], h.Src[:])
+	copy(w[24:40], h.Dst[:])
+	return append(b, w[:]...)
+}
+
+// unmarshal parses the fixed header from b.
+func (h *Header) unmarshal(b []byte) error {
+	if len(b) < HeaderLen {
+		return fmt.Errorf("ipv6: header truncated: %d bytes", len(b))
+	}
+	if v := b[0] >> 4; v != Version {
+		return fmt.Errorf("ipv6: version %d, want %d", v, Version)
+	}
+	h.TrafficClass = b[0]<<4 | b[1]>>4
+	h.FlowLabel = uint32(b[1]&0x0f)<<16 | uint32(b[2])<<8 | uint32(b[3])
+	h.PayloadLen = binary.BigEndian.Uint16(b[4:6])
+	h.NextHeader = b[6]
+	h.HopLimit = b[7]
+	copy(h.Src[:], b[8:24])
+	copy(h.Dst[:], b[24:40])
+	return nil
+}

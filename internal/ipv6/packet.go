@@ -1,0 +1,223 @@
+package ipv6
+
+import "fmt"
+
+// Packet is a parsed IPv6 datagram: the fixed header, the extension headers
+// this system uses (in their RFC 2460 §4.1 recommended order), and the
+// upper-layer payload. Encode/Decode are exact inverses for well-formed
+// packets; links in the simulator carry the encoded form.
+type Packet struct {
+	Hdr      Header
+	HopByHop []Option        // Hop-by-Hop Options header, nil if absent
+	Routing  *RoutingHeader  // Routing header, nil if absent
+	Fragment *FragmentHeader // Fragment header, nil if absent
+	DestOpts []Option        // Destination Options header, nil if absent
+
+	// Proto identifies the upper-layer payload (ProtoUDP, ProtoICMPv6,
+	// ProtoPIM, ProtoIPv6 for tunnels, ProtoNoNext for none).
+	Proto   uint8
+	Payload []byte
+}
+
+// Encode serializes the packet. The fixed header's PayloadLen and NextHeader
+// fields are computed; the caller's values are ignored.
+func (p *Packet) Encode() ([]byte, error) {
+	// Determine the chain of next-header values front to back.
+	first, chain := p.nextChain()
+	hdr := p.Hdr
+	hdr.NextHeader = first
+
+	b := make([]byte, 0, HeaderLen+len(p.Payload)+64)
+	b = hdr.marshal(b)
+	var err error
+	i := 0
+	if p.HopByHop != nil {
+		b, err = marshalOptions(b, chain[i], p.HopByHop)
+		if err != nil {
+			return nil, err
+		}
+		i++
+	}
+	if p.Routing != nil {
+		b, err = p.Routing.marshal(b, chain[i])
+		if err != nil {
+			return nil, err
+		}
+		i++
+	}
+	if p.Fragment != nil {
+		b = p.Fragment.marshal(b, chain[i])
+		i++
+	}
+	if p.DestOpts != nil {
+		b, err = marshalOptions(b, chain[i], p.DestOpts)
+		if err != nil {
+			return nil, err
+		}
+		i++
+	}
+	b = append(b, p.Payload...)
+	plen := len(b) - HeaderLen
+	if plen > 0xffff {
+		return nil, fmt.Errorf("ipv6: payload %d exceeds 65535", plen)
+	}
+	b[4] = byte(plen >> 8)
+	b[5] = byte(plen)
+	return b, nil
+}
+
+// nextChain returns the first NextHeader value and, for each present
+// extension header in order, the NextHeader value it carries.
+func (p *Packet) nextChain() (first uint8, chain []uint8) {
+	var kinds []uint8
+	if p.HopByHop != nil {
+		kinds = append(kinds, ProtoHopByHop)
+	}
+	if p.Routing != nil {
+		kinds = append(kinds, ProtoRouting)
+	}
+	if p.Fragment != nil {
+		kinds = append(kinds, ProtoFragment)
+	}
+	if p.DestOpts != nil {
+		kinds = append(kinds, ProtoDestOpts)
+	}
+	if len(kinds) == 0 {
+		return p.Proto, nil
+	}
+	first = kinds[0]
+	for i := 1; i < len(kinds); i++ {
+		chain = append(chain, kinds[i])
+	}
+	chain = append(chain, p.Proto)
+	return first, chain
+}
+
+// Decode parses an encoded IPv6 datagram. Unknown extension headers are an
+// error; trailing bytes beyond PayloadLen are an error (links deliver exact
+// frames).
+func Decode(b []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := p.Hdr.unmarshal(b); err != nil {
+		return nil, err
+	}
+	want := HeaderLen + int(p.Hdr.PayloadLen)
+	if len(b) != want {
+		return nil, fmt.Errorf("ipv6: frame is %d bytes, header says %d", len(b), want)
+	}
+	rest := b[HeaderLen:]
+	next := p.Hdr.NextHeader
+	seen := map[uint8]bool{}
+	for {
+		switch next {
+		case ProtoHopByHop, ProtoDestOpts, ProtoRouting, ProtoFragment:
+			if seen[next] {
+				return nil, fmt.Errorf("ipv6: duplicate extension header %d", next)
+			}
+			seen[next] = true
+		default:
+			p.Proto = next
+			p.Payload = make([]byte, len(rest))
+			copy(p.Payload, rest)
+			return p, nil
+		}
+		var n int
+		var err error
+		switch next {
+		case ProtoHopByHop:
+			p.HopByHop, next, n, err = unmarshalOptions(rest)
+			if p.HopByHop == nil {
+				p.HopByHop = []Option{} // present but empty
+			}
+		case ProtoDestOpts:
+			p.DestOpts, next, n, err = unmarshalOptions(rest)
+			if p.DestOpts == nil {
+				p.DestOpts = []Option{}
+			}
+		case ProtoRouting:
+			p.Routing, next, n, err = unmarshalRouting(rest)
+		case ProtoFragment:
+			p.Fragment, next, n, err = unmarshalFragment(rest)
+		}
+		if err != nil {
+			return nil, err
+		}
+		rest = rest[n:]
+	}
+}
+
+// WireLen returns the encoded size of the packet in bytes without allocating
+// the encoding. Byte accounting in the simulator uses actual encoded frames,
+// but metrics code sometimes needs the size of a hypothetical packet.
+func (p *Packet) WireLen() int {
+	n := HeaderLen + len(p.Payload)
+	optLen := func(opts []Option) int {
+		l := 2
+		for _, o := range opts {
+			if o.Type == OptPad1 {
+				l++
+			} else {
+				l += 2 + len(o.Data)
+			}
+		}
+		if rem := l % 8; rem != 0 {
+			l += 8 - rem
+		}
+		return l
+	}
+	if p.HopByHop != nil {
+		n += optLen(p.HopByHop)
+	}
+	if p.Routing != nil {
+		n += 8 + 16*len(p.Routing.Addresses)
+	}
+	if p.Fragment != nil {
+		n += 8
+	}
+	if p.DestOpts != nil {
+		n += optLen(p.DestOpts)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.HopByHop != nil {
+		q.HopByHop = cloneOptions(p.HopByHop)
+	}
+	if p.DestOpts != nil {
+		q.DestOpts = cloneOptions(p.DestOpts)
+	}
+	if p.Routing != nil {
+		r := *p.Routing
+		r.Addresses = append([]Addr(nil), p.Routing.Addresses...)
+		q.Routing = &r
+	}
+	if p.Fragment != nil {
+		f := *p.Fragment
+		q.Fragment = &f
+	}
+	q.Payload = append([]byte(nil), p.Payload...)
+	return &q
+}
+
+func cloneOptions(opts []Option) []Option {
+	out := make([]Option, len(opts))
+	for i, o := range opts {
+		out[i] = Option{Type: o.Type, Data: append([]byte(nil), o.Data...)}
+	}
+	return out
+}
+
+// String gives a compact one-line description for traces.
+func (p *Packet) String() string {
+	proto := map[uint8]string{
+		ProtoUDP: "udp", ProtoICMPv6: "icmp6", ProtoPIM: "pim",
+		ProtoIPv6: "ip6-in-ip6", ProtoNoNext: "none",
+	}[p.Proto]
+	if proto == "" {
+		proto = fmt.Sprintf("proto%d", p.Proto)
+	}
+	return fmt.Sprintf("%s -> %s %s hl=%d len=%d", p.Hdr.Src, p.Hdr.Dst, proto, p.Hdr.HopLimit, len(p.Payload))
+}

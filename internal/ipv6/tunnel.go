@@ -1,0 +1,73 @@
+package ipv6
+
+import "fmt"
+
+// RFC 2473 generic packet tunneling: the entry-point node wraps the original
+// packet as the payload of a new IPv6 header (next header 41); the exit
+// point unwraps. Mobile IPv6 home agents tunnel intercepted packets to the
+// mobile node's care-of address this way, and mobile nodes reverse-tunnel
+// outgoing (including multicast) packets to their home agent.
+
+// TunnelOverheadBytes is the per-packet cost of one encapsulation layer: one
+// extra fixed IPv6 header.
+const TunnelOverheadBytes = HeaderLen
+
+// Encapsulate wraps inner in an outer header from src to dst. The inner
+// packet is carried verbatim (its hop limit is not touched inside the
+// tunnel, per RFC 2473 §3.1).
+func Encapsulate(src, dst Addr, hopLimit uint8, inner *Packet) (*Packet, error) {
+	enc, err := inner.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("ipv6: encapsulate: %w", err)
+	}
+	return &Packet{
+		Hdr: Header{
+			Src:      src,
+			Dst:      dst,
+			HopLimit: hopLimit,
+		},
+		Proto:   ProtoIPv6,
+		Payload: enc,
+	}, nil
+}
+
+// Decapsulate unwraps one layer of IPv6-in-IPv6 encapsulation, returning the
+// inner packet.
+func Decapsulate(outer *Packet) (*Packet, error) {
+	if outer.Proto != ProtoIPv6 {
+		return nil, fmt.Errorf("ipv6: decapsulate: payload protocol %d is not IPv6", outer.Proto)
+	}
+	inner, err := Decode(outer.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("ipv6: decapsulate inner: %w", err)
+	}
+	return inner, nil
+}
+
+// TunnelDepth reports how many encapsulation layers wrap the given packet
+// (0 for a plain packet). Used by trace taps to classify tunneled traffic.
+func TunnelDepth(p *Packet) int {
+	depth := 0
+	for p.Proto == ProtoIPv6 {
+		inner, err := Decode(p.Payload)
+		if err != nil {
+			break
+		}
+		depth++
+		p = inner
+	}
+	return depth
+}
+
+// Innermost walks through any encapsulation layers and returns the innermost
+// packet (p itself if not tunneled).
+func Innermost(p *Packet) *Packet {
+	for p.Proto == ProtoIPv6 {
+		inner, err := Decode(p.Payload)
+		if err != nil {
+			return p
+		}
+		p = inner
+	}
+	return p
+}

@@ -1,0 +1,82 @@
+package ipv6
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncapsulateDecapsulate(t *testing.T) {
+	inner := samplePacket()
+	ha := MustParseAddr("2001:db8:4::1")
+	coa := MustParseAddr("2001:db8:6::beef")
+	outer, err := Encapsulate(ha, coa, DefaultHopLimit, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer.Hdr.Src != ha || outer.Hdr.Dst != coa || outer.Proto != ProtoIPv6 {
+		t.Fatalf("outer header wrong: %+v", outer.Hdr)
+	}
+
+	// Encode/decode the outer packet as it would cross links.
+	enc, err := outer.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != inner.WireLen()+TunnelOverheadBytes {
+		t.Errorf("tunnel overhead = %d, want %d", len(enc)-inner.WireLen(), TunnelOverheadBytes)
+	}
+	back, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decapsulate(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hdr.Src != inner.Hdr.Src || got.Hdr.Dst != inner.Hdr.Dst {
+		t.Error("inner addresses mangled through tunnel")
+	}
+	if got.Hdr.HopLimit != inner.Hdr.HopLimit {
+		t.Error("inner hop limit modified inside tunnel (violates RFC 2473 §3.1)")
+	}
+	if !bytes.Equal(got.Payload, inner.Payload) {
+		t.Error("inner payload mangled")
+	}
+}
+
+func TestDecapsulateRejectsNonTunnel(t *testing.T) {
+	if _, err := Decapsulate(samplePacket()); err == nil {
+		t.Fatal("decapsulated a UDP packet")
+	}
+	bad := &Packet{Hdr: Header{HopLimit: 1}, Proto: ProtoIPv6, Payload: []byte{1, 2, 3}}
+	if _, err := Decapsulate(bad); err == nil {
+		t.Fatal("decapsulated garbage inner bytes")
+	}
+}
+
+func TestNestedTunnelDepth(t *testing.T) {
+	p := samplePacket()
+	if TunnelDepth(p) != 0 {
+		t.Errorf("depth of plain packet = %d", TunnelDepth(p))
+	}
+	a := MustParseAddr("2001:db8::1")
+	b := MustParseAddr("2001:db8::2")
+	one, err := Encapsulate(a, b, 64, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Encapsulate(b, a, 64, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TunnelDepth(one) != 1 || TunnelDepth(two) != 2 {
+		t.Errorf("depths = %d, %d, want 1, 2", TunnelDepth(one), TunnelDepth(two))
+	}
+	in := Innermost(two)
+	if in.Hdr.Src != p.Hdr.Src || in.Proto != ProtoUDP {
+		t.Error("Innermost did not reach the original packet")
+	}
+	if Innermost(p) != p {
+		t.Error("Innermost of plain packet is not itself")
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram accumulates scalar samples (delays, sizes) and answers
+// order-statistics queries. Sweep experiments use it to report
+// distributions rather than bare means.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends one sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s / float64(len(h.samples))
+}
+
+// Stddev returns the population standard deviation.
+func (h *Histogram) Stddev() float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	m := h.Mean()
+	var s float64
+	for _, v := range h.samples {
+		d := v - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// between closest ranks; 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := len(h.samples)
+	if n == 0 {
+		return 0
+	}
+	h.sort()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return h.samples[n-1]
+	}
+	return h.samples[lo]*(1-frac) + h.samples[lo+1]*frac
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// String summarizes as "n=.. mean=.. p50=.. p95=.. max=..".
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f max=%.3f",
+		h.N(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+}

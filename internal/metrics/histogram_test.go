@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Stddev() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Add(v)
+	}
+	if h.N() != 5 || h.Mean() != 3 {
+		t.Fatalf("n=%d mean=%v", h.N(), h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("p50=%v", got)
+	}
+	if got := h.Quantile(0.25); got != 2 {
+		t.Fatalf("p25=%v (linear interpolation on ranks)", got)
+	}
+	want := math.Sqrt(2) // population stddev of 1..5
+	if d := math.Abs(h.Stddev() - want); d > 1e-12 {
+		t.Fatalf("stddev=%v want %v", h.Stddev(), want)
+	}
+	if !strings.Contains(h.String(), "n=5") {
+		t.Fatalf("String() = %q", h.String())
+	}
+}
+
+func TestHistogramInterpolation(t *testing.T) {
+	var h Histogram
+	h.Add(0)
+	h.Add(10)
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("p50 of {0,10} = %v", got)
+	}
+	if got := h.Quantile(0.9); math.Abs(got-9) > 1e-12 {
+		t.Fatalf("p90 of {0,10} = %v", got)
+	}
+}
+
+func TestHistogramAddAfterQuery(t *testing.T) {
+	var h Histogram
+	h.Add(2)
+	_ = h.Quantile(0.5)
+	h.Add(1) // must re-sort
+	if h.Min() != 1 {
+		t.Fatal("sample added after query ignored by ordering")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickHistogramQuantilesMonotone(t *testing.T) {
+	f := func(raw []int16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Add(float64(v))
+		}
+		qa := float64(a) / 255
+		qb := float64(b) / 255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := h.Quantile(qa), h.Quantile(qb)
+		return va <= vb && va >= h.Min() && vb <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package mipv6
+
+import (
+	"fmt"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/netem"
+)
+
+// Load balancing — the second half of the paper's reference [10] ("Home
+// agent redundancy AND load balancing in Mobile IPv6"). A BalancedCluster
+// spreads K service addresses over N home-agent boxes on the home link by
+// running K address-clusters side by side with rotated priorities:
+// address j's highest-priority member is box (j mod N), so with all boxes
+// alive each serves ≈ K/N of the mobile nodes; when a box fails, its
+// addresses fail over to the next-priority boxes (inheriting the
+// replicated bindings), and when it recovers it preempts them back.
+//
+// Mobile nodes are assigned a service address statically (AddressFor), as
+// the home network operator would when provisioning.
+type BalancedCluster struct {
+	// Addresses are the cluster's service addresses, in assignment order.
+	Addresses []ipv6.Addr
+	// Members[i][j] serves address j on box i.
+	Members [][]*ClusterMember
+	// HAs[i][j] is the home agent instance behind Members[i][j].
+	HAs [][]*HomeAgent
+}
+
+// NewBalancedCluster builds K = len(addresses) address-clusters over the
+// given boxes. Each box must provide the interface on the (shared) home
+// link. cfg supplies the timing; its ServiceAddr field is ignored.
+func NewBalancedCluster(boxes []*netem.Node, ifaces []*netem.Interface, addresses []ipv6.Addr, cfg ClusterConfig, haCfg HAConfig) *BalancedCluster {
+	if len(boxes) != len(ifaces) || len(boxes) == 0 {
+		panic("mipv6: NewBalancedCluster needs one interface per box")
+	}
+	bc := &BalancedCluster{Addresses: append([]ipv6.Addr(nil), addresses...)}
+	n := len(boxes)
+	for range boxes {
+		bc.Members = append(bc.Members, make([]*ClusterMember, len(addresses)))
+		bc.HAs = append(bc.HAs, make([]*HomeAgent, len(addresses)))
+	}
+	for j, addr := range addresses {
+		c := cfg
+		c.ServiceAddr = addr
+		for i := range boxes {
+			ifaces[i].AddAddr(addr) // NewClusterMember withdraws it until elected
+			ha := NewHomeAgent(boxes[i], ifaces[i], addr, haCfg)
+			// Rotated priorities: box (j mod n) ranks highest for address
+			// j, then the following boxes in ring order.
+			rank := (i - j%n + n) % n
+			prio := uint16(1000 - 10*rank)
+			bc.HAs[i][j] = ha
+			bc.Members[i][j] = NewClusterMember(ha, c, prio)
+		}
+	}
+	return bc
+}
+
+// AddressFor assigns a mobile node (by any stable integer identity, e.g.
+// its interface identifier) to a service address.
+func (bc *BalancedCluster) AddressFor(id uint64) ipv6.Addr {
+	return bc.Addresses[int(id%uint64(len(bc.Addresses)))]
+}
+
+// ActiveBox returns which box currently serves address index j (-1 if
+// none).
+func (bc *BalancedCluster) ActiveBox(j int) int {
+	for i := range bc.Members {
+		if bc.Members[i][j].Active() {
+			return i
+		}
+	}
+	return -1
+}
+
+// ServedAddresses returns how many addresses box i currently serves.
+func (bc *BalancedCluster) ServedAddresses(i int) int {
+	n := 0
+	for j := range bc.Addresses {
+		if bc.Members[i][j].Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// BindingsAt returns the number of bindings box i currently serves across
+// all its active addresses.
+func (bc *BalancedCluster) BindingsAt(i int) int {
+	n := 0
+	for j := range bc.Addresses {
+		if bc.Members[i][j].Active() {
+			n += len(bc.HAs[i][j].Bindings())
+		}
+	}
+	return n
+}
+
+// FailBox crashes every member on box i (the box's home interface goes
+// down once — members share it).
+func (bc *BalancedCluster) FailBox(i int) {
+	bc.Members[i][0].Fail()
+	for j := range bc.Addresses {
+		_ = j // one SetUp(false) downs the shared interface for all members
+	}
+}
+
+// RecoverBox brings box i back; all its members rejoin as standbys and
+// preempt per priority.
+func (bc *BalancedCluster) RecoverBox(i int) {
+	for j := range bc.Addresses {
+		bc.Members[i][j].Recover()
+	}
+}
+
+func (bc *BalancedCluster) String() string {
+	return fmt.Sprintf("balanced-cluster(%d boxes, %d addresses)", len(bc.Members), len(bc.Addresses))
+}

@@ -1,0 +1,54 @@
+package mld
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+)
+
+// BenchmarkQueryResponseCycle measures one full MLD round on a link with
+// many members: General Query out, randomized delayed Reports (with
+// suppression) back, membership database refresh.
+func BenchmarkQueryResponseCycle(b *testing.B) {
+	cfg := FastConfig(10 * time.Second)
+	f := newFixture(1, cfg)
+	const members = 50
+	for i := 0; i < members; i++ {
+		_, ifc, h := f.addHost(fmt.Sprintf("h%d", i), HostConfig{Config: cfg})
+		h.Join(ifc, group)
+	}
+	f.s.RunUntil(f.s.Now() + 1<<20) // drain joins
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.s.RunFor(cfg.QueryInterval) // one query cycle
+	}
+	b.StopTimer()
+	if !f.mr.HasListeners(f.router.Ifaces[0], group) {
+		b.Fatal("membership lost during benchmark")
+	}
+}
+
+// BenchmarkManyGroups measures the router's listener database under many
+// concurrent groups.
+func BenchmarkManyGroups(b *testing.B) {
+	cfg := FastConfig(10 * time.Second)
+	f := newFixture(2, cfg)
+	_, ifc, h := f.addHost("h", HostConfig{Config: cfg})
+	groups := make([]ipv6.Addr, 200)
+	for i := range groups {
+		groups[i] = ipv6.MustParseAddr("ff0e::1000")
+		groups[i][14] = byte(i >> 8)
+		groups[i][15] = byte(i)
+		h.Join(ifc, groups[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.s.RunFor(cfg.QueryInterval)
+	}
+	b.StopTimer()
+	if got := len(f.mr.Groups(f.router.Ifaces[0])); got != len(groups) {
+		b.Fatalf("listener db has %d groups, want %d", got, len(groups))
+	}
+}

@@ -1,0 +1,85 @@
+package mld
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/sim"
+)
+
+// TestUnsolicitedReportsRobustToLoss: the Robustness variable makes a host
+// send its initial Report twice, so a join survives a single loss. With
+// 40% loss, the router should learn ≈ 1-0.4² = 84% of joins promptly,
+// clearly above the single-report 60%.
+func TestUnsolicitedReportsRobustToLoss(t *testing.T) {
+	f := newFixture(31, DefaultConfig())
+	f.link.LossRate = 0.4
+
+	const n = 60
+	groups := make([]ipv6.Addr, n)
+	for i := range groups {
+		groups[i] = ipv6.MustParseAddr(fmt.Sprintf("ff0e::%x", 0x100+i))
+	}
+	_, ifc, h := f.addHost("h", DefaultHostConfig())
+	for _, g := range groups {
+		h.Join(ifc, g)
+	}
+	// Two unsolicited rounds are 10 s apart; give propagation slack but
+	// stay well before the first general query could mop up stragglers.
+	f.s.RunUntil(sim.Time(15 * time.Second))
+
+	learned := 0
+	for _, g := range groups {
+		if f.mr.HasListeners(f.router.Ifaces[0], g) {
+			learned++
+		}
+	}
+	frac := float64(learned) / n
+	if frac < 0.70 {
+		t.Fatalf("router learned %.2f of joins under 40%% loss; robustness not effective", frac)
+	}
+}
+
+// TestMembershipSelfHealsUnderLoss: sustained loss may occasionally expire
+// a listener (both reports of an interval lost), but the next answered
+// Query must always re-establish it; the system may flap, never wedge.
+func TestMembershipSelfHealsUnderLoss(t *testing.T) {
+	cfg := FastConfig(20 * time.Second)
+	f := newFixture(32, cfg)
+	f.link.LossRate = 0.3
+	_, ifc, h := f.addHost("h", HostConfig{Config: cfg, ResendOnMove: true})
+	h.Join(ifc, group)
+
+	f.s.RunUntil(sim.Time(time.Hour))
+
+	// Whatever flapping happened, the end state must be consistent: the
+	// member is still subscribed, so the router must know it (the last
+	// event must be "present" or no absence ever happened).
+	if len(f.events) == 0 || !f.events[len(f.events)-1].Present {
+		// One more query cycle must heal it.
+		f.s.RunFor(2 * cfg.QueryInterval)
+	}
+	if !f.mr.HasListeners(f.router.Ifaces[0], group) {
+		t.Fatalf("membership wedged absent under loss; %d events", len(f.events))
+	}
+	// Every absence must have been healed within two query intervals.
+	for i, ev := range f.events {
+		if ev.Present {
+			continue
+		}
+		if i == len(f.events)-1 {
+			continue // healed by the extra cycle above
+		}
+		// Healing needs a query AND its report to both survive the loss
+		// process: geometric per interval with success ≈ (1-p)² ≈ 0.49,
+		// and over an hour of flaps the worst observed gap is an extreme
+		// order statistic (≈ log(#absences)/log(1/0.51) intervals). Bound
+		// generously; the point is "heals", not "heals instantly".
+		gap := f.etimes[i+1].Sub(f.etimes[i])
+		if gap > 10*cfg.QueryInterval {
+			t.Fatalf("absence at %v healed only after %v", f.etimes[i], gap)
+		}
+	}
+}

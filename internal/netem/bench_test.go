@@ -1,0 +1,117 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/sim"
+)
+
+// BenchmarkLinkDelivery measures the raw frame pipeline: encode, transmit,
+// schedule, decode, dispatch to a UDP handler.
+func BenchmarkLinkDelivery(b *testing.B) {
+	s := sim.NewScheduler(1)
+	net := New(s)
+	link := net.NewLink("l", 0, time.Microsecond)
+	a := net.NewNode("a", false)
+	c := net.NewNode("c", false)
+	ia := a.AddInterface(link)
+	ic := c.AddInterface(link)
+	aA := ipv6.MustParseAddr("2001:db8:1::a")
+	cA := ipv6.MustParseAddr("2001:db8:1::c")
+	ia.AddAddr(aA)
+	ic.AddAddr(cA)
+	got := 0
+	c.BindUDP(9, func(RxPacket, *ipv6.UDP) { got++ })
+	u := &ipv6.UDP{SrcPort: 9, DstPort: 9, Payload: make([]byte, 512)}
+	pkt := &ipv6.Packet{
+		Hdr:     ipv6.Header{Src: aA, Dst: cA, HopLimit: 64},
+		Proto:   ipv6.ProtoUDP,
+		Payload: u.Marshal(aA, cA),
+	}
+	b.SetBytes(int64(pkt.WireLen()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.OutputOn(ia, pkt)
+		s.Run()
+	}
+	b.StopTimer()
+	if got != b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+// BenchmarkMulticastFanout measures delivery of one multicast frame to
+// many member interfaces.
+func BenchmarkMulticastFanout(b *testing.B) {
+	s := sim.NewScheduler(1)
+	net := New(s)
+	link := net.NewLink("l", 0, time.Microsecond)
+	src := net.NewNode("src", false)
+	isrc := src.AddInterface(link)
+	sA := ipv6.MustParseAddr("2001:db8:1::1")
+	isrc.AddAddr(sA)
+	g := ipv6.MustParseAddr("ff0e::7")
+	got := 0
+	const members = 64
+	for i := 0; i < members; i++ {
+		m := net.NewNode("m", false)
+		im := m.AddInterface(link)
+		im.JoinGroup(g)
+		m.BindUDP(9, func(RxPacket, *ipv6.UDP) { got++ })
+	}
+	u := &ipv6.UDP{SrcPort: 9, DstPort: 9, Payload: make([]byte, 256)}
+	pkt := &ipv6.Packet{
+		Hdr:     ipv6.Header{Src: sA, Dst: g, HopLimit: 64},
+		Proto:   ipv6.ProtoUDP,
+		Payload: u.Marshal(sA, g),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = src.OutputOn(isrc, pkt)
+		s.Run()
+	}
+	b.StopTimer()
+	if got != b.N*members {
+		b.Fatalf("delivered %d of %d", got, b.N*members)
+	}
+}
+
+// BenchmarkFragmentationPath measures a 4 kB datagram fragmented at the
+// source, carried as fragments, and reassembled at the destination.
+func BenchmarkFragmentationPath(b *testing.B) {
+	s := sim.NewScheduler(1)
+	net := New(s)
+	link := net.NewLink("l", 0, time.Microsecond)
+	link.MTU = 1500
+	a := net.NewNode("a", false)
+	c := net.NewNode("c", false)
+	ia := a.AddInterface(link)
+	ic := c.AddInterface(link)
+	aA := ipv6.MustParseAddr("2001:db8:1::a")
+	cA := ipv6.MustParseAddr("2001:db8:1::c")
+	ia.AddAddr(aA)
+	ic.AddAddr(cA)
+	got := 0
+	c.BindUDP(9, func(RxPacket, *ipv6.UDP) { got++ })
+	u := &ipv6.UDP{SrcPort: 9, DstPort: 9, Payload: make([]byte, 4000)}
+	pkt := &ipv6.Packet{
+		Hdr:     ipv6.Header{Src: aA, Dst: cA, HopLimit: 64},
+		Proto:   ipv6.ProtoUDP,
+		Payload: u.Marshal(aA, cA),
+	}
+	b.SetBytes(int64(pkt.WireLen()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.OutputOn(ia, pkt)
+		s.Run()
+	}
+	b.StopTimer()
+	if got != b.N {
+		b.Fatalf("reassembled %d of %d", got, b.N)
+	}
+}

@@ -1,0 +1,234 @@
+// Package netem emulates the network the protocols run on: multi-access
+// links (broadcast domains) with bandwidth and propagation delay, node
+// interfaces with multicast filtering, and nodes with a protocol dispatch
+// stack. Frames on links are encoded IPv6 datagrams; every receiver
+// re-parses them, so the ipv6 codecs are on the data path.
+//
+// Layer 2 is modeled minimally: a frame is addressed either to a specific
+// interface (unicast) or to a group (multicast filtering at the receiver).
+// Address resolution is "perfect ND": a sender can resolve any on-link IPv6
+// address to its interface, including proxy entries — which is exactly the
+// hook Mobile IPv6 home agents use (proxy Neighbor Discovery) to intercept
+// packets for mobile nodes that are away from home.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/sim"
+)
+
+// Network owns the simulated topology and its scheduler.
+type Network struct {
+	Sched *sim.Scheduler
+	Links []*Link
+	Nodes []*Node
+
+	nextIfaceID int
+}
+
+// New creates an empty network driven by the given scheduler.
+func New(s *sim.Scheduler) *Network {
+	return &Network{Sched: s}
+}
+
+// NewLink adds a link. bandwidth is in bits/second (0 means infinitely
+// fast); delay is the one-way propagation delay.
+func (n *Network) NewLink(name string, bandwidth int64, delay time.Duration) *Link {
+	l := &Link{Name: name, Bandwidth: bandwidth, Delay: delay, net: n}
+	n.Links = append(n.Links, l)
+	return l
+}
+
+// NewNode adds a node. Router nodes forward unicast packets and accept all
+// multicast traffic on their interfaces (they are multicast routers).
+func (n *Network) NewNode(name string, router bool) *Node {
+	nd := &Node{
+		Name:          name,
+		Net:           n,
+		IsRouter:      router,
+		protoHandlers: map[uint8][]ProtoHandler{},
+		udpSocks:      map[uint16][]UDPHandler{},
+	}
+	n.Nodes = append(n.Nodes, nd)
+	return nd
+}
+
+// TxEvent describes one frame transmission onto a link, as observed by taps.
+type TxEvent struct {
+	Time  sim.Time
+	Link  *Link
+	From  *Interface
+	Frame []byte       // encoded bytes as sent
+	Pkt   *ipv6.Packet // decoded once for all taps
+}
+
+// Tap observes every transmission on a link (used by metrics and tracing).
+type Tap func(ev TxEvent)
+
+// Link is a multi-access broadcast domain.
+type Link struct {
+	Name      string
+	Bandwidth int64 // bits per second; 0 = no serialization delay
+	Delay     time.Duration
+	// LossRate is the independent per-receiver probability that a frame is
+	// not delivered (failure injection; drawn from the simulation's
+	// deterministic random source). Transmissions are still counted and
+	// tapped — the bytes were spent on the wire.
+	LossRate float64
+	// MTU bounds frame size (0 = unlimited). Per IPv6 semantics, only a
+	// packet's source may fragment; a node asked to transmit a too-big
+	// packet it did not originate drops it ("too-big").
+	MTU int
+
+	Ifaces []*Interface
+	Taps   []Tap
+
+	// LostDeliveries counts receiver-side losses injected by LossRate.
+	LostDeliveries uint64
+
+	// Raw counters (all traffic classes; classified accounting is done by
+	// metrics taps).
+	TxFrames uint64
+	TxBytes  uint64
+
+	net       *Network
+	busyUntil sim.Time
+}
+
+// AddTap registers a transmission observer.
+func (l *Link) AddTap(t Tap) { l.Taps = append(l.Taps, t) }
+
+// Resolve finds the interface on this link owning addr, either as a
+// configured address or as a proxy entry (Mobile IPv6 home agent proxy ND).
+// Proxy entries lose to real owners, matching ND behavior when the real node
+// is present.
+func (l *Link) Resolve(addr ipv6.Addr) *Interface {
+	var proxy *Interface
+	for _, ifc := range l.Ifaces {
+		if !ifc.up {
+			continue
+		}
+		if ifc.HasAddr(addr) {
+			return ifc
+		}
+		if ifc.proxies[addr] {
+			proxy = ifc
+		}
+	}
+	return proxy
+}
+
+// transmit schedules delivery of frame to receivers on the link. l2dst is
+// nil for multicast/broadcast frames (delivered subject to each interface's
+// multicast filter) or the specific destination interface for unicast.
+func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) {
+	s := l.net.Sched
+	now := s.Now()
+
+	l.TxFrames++
+	l.TxBytes += uint64(len(frame))
+
+	if len(l.Taps) > 0 {
+		pkt, err := ipv6.Decode(frame)
+		if err == nil {
+			ev := TxEvent{Time: now, Link: l, From: from, Frame: frame, Pkt: pkt}
+			for _, t := range l.Taps {
+				t(ev)
+			}
+		}
+	}
+
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	var txTime time.Duration
+	if l.Bandwidth > 0 {
+		txTime = time.Duration(int64(len(frame)) * 8 * int64(time.Second) / l.Bandwidth)
+	}
+	l.busyUntil = start.Add(txTime)
+	arrive := l.busyUntil.Add(l.Delay)
+
+	for _, ifc := range l.Ifaces {
+		if ifc == from || !ifc.up {
+			continue
+		}
+		if l2dst != nil && ifc != l2dst {
+			continue
+		}
+		if l.LossRate > 0 && s.Rand().Float64() < l.LossRate {
+			l.LostDeliveries++
+			continue
+		}
+		ifc := ifc
+		data := frame // frames are immutable after transmit
+		s.At(arrive, func() {
+			if ifc.up && ifc.Link == l {
+				ifc.Node.receive(ifc, data, l2dst != nil)
+			}
+		})
+	}
+}
+
+// Attach connects iface to this link (used by Node.AddInterface and by
+// mobility moves).
+func (l *Link) attach(ifc *Interface) {
+	l.Ifaces = append(l.Ifaces, ifc)
+	ifc.Link = l
+	ifc.up = true
+}
+
+func (l *Link) detach(ifc *Interface) {
+	for i, x := range l.Ifaces {
+		if x == ifc {
+			l.Ifaces = append(l.Ifaces[:i], l.Ifaces[i+1:]...)
+			break
+		}
+	}
+	ifc.Link = nil
+	ifc.up = false
+}
+
+// Move detaches iface from its current link and attaches it to dst,
+// notifying the node's attachment listeners (movement detection hooks).
+// Addresses with link-local or dynamic scope are NOT cleared here; protocol
+// modules (NDP/SLAAC, Mobile IPv6) decide what to reconfigure.
+func (n *Network) Move(ifc *Interface, dst *Link) {
+	if ifc.Link == dst {
+		return
+	}
+	if ifc.Link != nil {
+		ifc.Link.detach(ifc)
+	}
+	dst.attach(ifc)
+	for _, fn := range ifc.Node.attachListeners {
+		fn(ifc)
+	}
+}
+
+// LinkByName returns the named link or nil.
+func (n *Network) LinkByName(name string) *Link {
+	for _, l := range n.Links {
+		if l.Name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// NodeByName returns the named node or nil.
+func (n *Network) NodeByName(name string) *Node {
+	for _, nd := range n.Nodes {
+		if nd.Name == name {
+			return nd
+		}
+	}
+	return nil
+}
+
+func (n *Network) String() string {
+	return fmt.Sprintf("network(%d nodes, %d links)", len(n.Nodes), len(n.Links))
+}

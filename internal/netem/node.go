@@ -1,0 +1,454 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"mip6mcast/internal/icmpv6"
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/sim"
+)
+
+// RxPacket is a received datagram handed to protocol modules.
+type RxPacket struct {
+	Iface *Interface
+	Pkt   *ipv6.Packet
+	// LocalDst reports whether the packet is addressed to this node (one of
+	// its unicast addresses or a multicast group an interface accepts).
+	LocalDst bool
+	// ViaTunnel marks packets re-delivered by a tunnel endpoint after
+	// decapsulation. Link-scoped protocol machines (MLD, NDP) must ignore
+	// them; Mobile IPv6 multicast services key off them.
+	ViaTunnel bool
+}
+
+// ProtoHandler processes a locally-delivered packet of one upper-layer
+// protocol (ICMPv6, PIM, IPv6-in-IPv6...).
+type ProtoHandler func(rx RxPacket)
+
+// OptionHandler processes one destination option of a locally-delivered
+// packet, before upper-layer dispatch. It reports whether it recognized the
+// option. Mobile IPv6 modules register handlers for the binding options.
+type OptionHandler func(rx RxPacket, opt ipv6.Option) bool
+
+// UDPHandler receives datagrams for a bound UDP port.
+type UDPHandler func(rx RxPacket, u *ipv6.UDP)
+
+// MulticastForwarder is the multicast routing engine's hook: every routable
+// (greater-than-link-scope) multicast packet arriving at a router is offered
+// to it, regardless of local delivery. PIM-DM implements this.
+type MulticastForwarder interface {
+	ForwardMulticast(rx RxPacket)
+}
+
+// RouteTable answers unicast next-hop queries. The routing package
+// implements it from a link-state view of the topology.
+type RouteTable interface {
+	// NextHop returns the outgoing interface and next-hop address toward
+	// dst. For an on-link destination the next hop is dst itself.
+	NextHop(dst ipv6.Addr) (ifc *Interface, via ipv6.Addr, ok bool)
+}
+
+// Node is a simulated IPv6 host or router.
+type Node struct {
+	Name     string
+	Net      *Network
+	IsRouter bool
+	Ifaces   []*Interface
+
+	// Routes is consulted for unicast forwarding (routers) and origination
+	// (hosts). Installed by the routing package or test code.
+	Routes RouteTable
+
+	// Forwarder receives routable multicast packets on routers.
+	Forwarder MulticastForwarder
+
+	// Drops counts discarded packets by reason, for diagnostics and tests.
+	Drops map[string]int
+
+	protoHandlers   map[uint8][]ProtoHandler
+	optionHandlers  []OptionHandler
+	udpSocks        map[uint16][]UDPHandler
+	attachListeners []func(*Interface)
+	mcastListeners  []func(RxPacket)
+	forwardHooks    []func(RxPacket) bool
+
+	fragID  uint32
+	reasm   *ipv6.Reassembler
+	pathMTU map[ipv6.Addr]int // learned from Packet Too Big errors
+
+	// logicalAddrs are addresses the node answers to without configuring
+	// them on any interface (a mobile node's home address while away: it
+	// must accept routing-header deliveries to it, but must not answer
+	// on-link address resolution for it on the foreign link).
+	logicalAddrs map[ipv6.Addr]bool
+
+	// PacketTooBigSent counts ICMPv6 errors this node originated.
+	PacketTooBigSent uint64
+}
+
+// nextFragID returns a fresh fragment identification value.
+func (n *Node) nextFragID() uint32 {
+	n.fragID++
+	return n.fragID
+}
+
+// sendPacketTooBig reports a forwarding drop back to the packet's source
+// (unicast destinations only; multicast path-MTU discovery is out of scope
+// for the workloads this system studies).
+func (n *Node) sendPacketTooBig(pkt *ipv6.Packet, frame []byte, mtu int) {
+	if pkt.Hdr.Dst.IsMulticast() || pkt.Hdr.Src.IsUnspecified() || pkt.Hdr.Src.IsLinkLocalUnicast() {
+		return
+	}
+	// Never report errors about ICMPv6 errors (types < 128).
+	if pkt.Proto == ipv6.ProtoICMPv6 && len(pkt.Payload) > 0 && pkt.Payload[0] < 128 {
+		return
+	}
+	var src ipv6.Addr
+	for _, ifc := range n.Ifaces {
+		if ifc.Up() {
+			if a := ifc.GlobalAddr(); !a.IsLinkLocalUnicast() {
+				src = a
+				break
+			}
+		}
+	}
+	if src.IsUnspecified() {
+		return
+	}
+	ptb := &icmpv6.PacketTooBig{MTU: uint32(mtu), Invoking: frame}
+	out := &ipv6.Packet{
+		Hdr:     ipv6.Header{Src: src, Dst: pkt.Hdr.Src, HopLimit: ipv6.DefaultHopLimit},
+		Proto:   ipv6.ProtoICMPv6,
+		Payload: icmpv6.Marshal(src, pkt.Hdr.Src, ptb),
+	}
+	n.PacketTooBigSent++
+	_ = n.Output(out)
+}
+
+// handlePacketTooBig updates the path-MTU cache from a received error. It
+// reports whether the packet was a Packet Too Big message.
+func (n *Node) handlePacketTooBig(rx RxPacket) bool {
+	p := rx.Pkt
+	if p.Proto != ipv6.ProtoICMPv6 || len(p.Payload) == 0 || p.Payload[0] != icmpv6.TypePacketTooBig {
+		return false
+	}
+	msg, err := icmpv6.Parse(p.Hdr.Src, p.Hdr.Dst, p.Payload)
+	if err != nil {
+		return true
+	}
+	ptb, ok := msg.(*icmpv6.PacketTooBig)
+	if !ok || len(ptb.Invoking) < ipv6.HeaderLen {
+		return true
+	}
+	// The original destination sits at bytes 24..40 of the invoking
+	// packet's header.
+	var dst ipv6.Addr
+	copy(dst[:], ptb.Invoking[24:40])
+	mtu := int(ptb.MTU)
+	if mtu < ipv6.MinMTU {
+		mtu = ipv6.MinMTU
+	}
+	if n.pathMTU == nil {
+		n.pathMTU = map[ipv6.Addr]int{}
+	}
+	if cur, exists := n.pathMTU[dst]; !exists || mtu < cur {
+		n.pathMTU[dst] = mtu
+	}
+	return true
+}
+
+// PathMTU returns the learned path MTU toward dst (0 if none learned).
+func (n *Node) PathMTU(dst ipv6.Addr) int { return n.pathMTU[dst] }
+
+// reassembler lazily creates the node's fragment reassembler.
+func (n *Node) reassembler() *ipv6.Reassembler {
+	if n.reasm == nil {
+		n.reasm = ipv6.NewReassembler()
+	}
+	return n.reasm
+}
+
+// Sched returns the network's scheduler (convenience for protocol modules).
+func (n *Node) Sched() *sim.Scheduler { return n.Net.Sched }
+
+// AddInterface creates a new interface and attaches it to link. Router
+// interfaces accept all multicast traffic.
+func (n *Node) AddInterface(link *Link) *Interface {
+	ifc := newInterface(n, n.Net.nextIfaceID, len(n.Ifaces))
+	n.Net.nextIfaceID++
+	ifc.allMcast = n.IsRouter
+	n.Ifaces = append(n.Ifaces, ifc)
+	link.attach(ifc)
+	return ifc
+}
+
+// HandleProto registers a handler for locally-delivered packets of the given
+// upper-layer protocol. Multiple handlers may register; all run.
+func (n *Node) HandleProto(proto uint8, h ProtoHandler) {
+	n.protoHandlers[proto] = append(n.protoHandlers[proto], h)
+}
+
+// HandleOptions registers a destination-option processor.
+func (n *Node) HandleOptions(h OptionHandler) {
+	n.optionHandlers = append(n.optionHandlers, h)
+}
+
+// BindUDP attaches a handler to a UDP destination port. Handlers stack:
+// every handler bound to the port sees each datagram (multiple protocol
+// modules may share a port and filter by content).
+func (n *Node) BindUDP(port uint16, h UDPHandler) {
+	n.udpSocks[port] = append(n.udpSocks[port], h)
+}
+
+// OnMulticastLocal registers a callback invoked for every multicast packet
+// the node accepts locally, regardless of upper-layer protocol. Mobile IPv6
+// home agents use it to pick up group traffic they must tunnel to mobile
+// nodes.
+func (n *Node) OnMulticastLocal(fn func(RxPacket)) {
+	n.mcastListeners = append(n.mcastListeners, fn)
+}
+
+// OnForward registers an intercept hook on the unicast forwarding path. A
+// hook returning true consumes the packet (no further forwarding). Mobile
+// IPv6 home agents intercept packets addressed to away-from-home mobile
+// nodes here.
+func (n *Node) OnForward(fn func(RxPacket) bool) {
+	n.forwardHooks = append(n.forwardHooks, fn)
+}
+
+// DeliverLocal runs the node's local delivery path on a packet — used by
+// tunnel endpoints to dispatch a decapsulated inner packet as if it had
+// been received for this node.
+func (n *Node) DeliverLocal(rx RxPacket) {
+	rx.LocalDst = true
+	n.deliverLocal(rx)
+}
+
+// OnAttach registers a callback invoked whenever one of the node's
+// interfaces is attached to a (new) link — the hook NDP/Mobile IPv6 modules
+// use for movement detection bootstrap.
+func (n *Node) OnAttach(fn func(*Interface)) {
+	n.attachListeners = append(n.attachListeners, fn)
+}
+
+// HasAddr reports whether any interface owns addr, or addr is registered
+// as a logical address.
+func (n *Node) HasAddr(addr ipv6.Addr) bool {
+	for _, ifc := range n.Ifaces {
+		if ifc.HasAddr(addr) {
+			return true
+		}
+	}
+	return n.logicalAddrs[addr]
+}
+
+// AddLogicalAddr registers an address the node accepts as its own without
+// owning it on-link (no address resolution answers).
+func (n *Node) AddLogicalAddr(a ipv6.Addr) {
+	if n.logicalAddrs == nil {
+		n.logicalAddrs = map[ipv6.Addr]bool{}
+	}
+	n.logicalAddrs[a] = true
+}
+
+// RemoveLogicalAddr drops a logical address.
+func (n *Node) RemoveLogicalAddr(a ipv6.Addr) { delete(n.logicalAddrs, a) }
+
+func (n *Node) drop(reason string) {
+	if n.Drops == nil {
+		n.Drops = map[string]int{}
+	}
+	n.Drops[reason]++
+}
+
+// receive is the input path: frame arrived on ifc. l2unicast reports whether
+// the frame was link-layer addressed specifically to this interface.
+func (n *Node) receive(ifc *Interface, frame []byte, l2unicast bool) {
+	pkt, err := ipv6.Decode(frame)
+	if err != nil {
+		n.drop("malformed")
+		return
+	}
+	dst := pkt.Hdr.Dst
+
+	local := false
+	switch {
+	case dst.IsMulticast():
+		// The L2 filter already passed it; local protocol delivery is
+		// appropriate for anything the interface accepts (routers accept
+		// everything — their protocol modules filter further).
+		local = ifc.AcceptsGroup(dst)
+	default:
+		local = n.HasAddr(dst)
+	}
+
+	rx := RxPacket{Iface: ifc, Pkt: pkt, LocalDst: local}
+
+	if local {
+		if pkt.Fragment != nil {
+			// Only the destination reassembles (forwarding paths below
+			// carry fragments onward untouched). Each new reassembly
+			// buffer gets a one-shot expiry sweep (a perpetual ticker
+			// would keep the event queue alive forever).
+			s := n.Sched()
+			r := n.reassembler()
+			before := r.Pending()
+			whole := r.Offer(pkt, time.Duration(s.Now()))
+			if whole != nil {
+				n.deliverLocal(RxPacket{Iface: ifc, Pkt: whole, LocalDst: true})
+			} else if r.Pending() > before {
+				s.Schedule(r.Timeout+time.Second, func() {
+					r.Expire(time.Duration(s.Now()))
+				})
+			}
+		} else {
+			n.deliverLocal(rx)
+		}
+	}
+
+	// Multicast routing: routers offer every routable multicast packet to
+	// the forwarding engine, independent of local delivery.
+	if n.IsRouter && dst.IsMulticast() && !dst.IsLinkScopedMulticast() && dst.MulticastScope() != 1 && n.Forwarder != nil {
+		n.Forwarder.ForwardMulticast(rx)
+	}
+
+	// Unicast forwarding. Intercept hooks run first — a Mobile IPv6 home
+	// agent owning a proxy-ND entry attracts frames for addresses that are
+	// not its own, whether or not it is also a router.
+	if !local && !dst.IsMulticast() {
+		for _, hook := range n.forwardHooks {
+			if hook(rx) {
+				return
+			}
+		}
+		if !n.IsRouter {
+			n.drop("not-mine")
+			return
+		}
+		n.forwardUnicast(rx)
+	}
+}
+
+func (n *Node) deliverLocal(rx RxPacket) {
+	// Destination options are processed by the final destination before
+	// upper-layer dispatch (RFC 2460 §4.6). Unknown options with the 00
+	// "skip" action semantics are ignored; this system only generates
+	// options it understands.
+	for _, opt := range rx.Pkt.DestOpts {
+		for _, h := range n.optionHandlers {
+			if h(rx, opt) {
+				break
+			}
+		}
+	}
+	// Routing header (type 0) processing, RFC 2460 §4.4: a packet
+	// addressed to us with segments left advances to the next address —
+	// delivered upward if that is also ours, forwarded otherwise. Mobile
+	// IPv6 uses this as the lighter alternative to encapsulation for
+	// home-agent-to-mobile-node delivery.
+	if r := rx.Pkt.Routing; r != nil && r.SegmentsLeft > 0 {
+		adv := rx.Pkt.Clone()
+		i := len(adv.Routing.Addresses) - int(adv.Routing.SegmentsLeft)
+		next := adv.Routing.Addresses[i]
+		adv.Routing.Addresses[i] = adv.Hdr.Dst
+		adv.Hdr.Dst = next
+		adv.Routing.SegmentsLeft--
+		if n.HasAddr(next) {
+			n.deliverLocal(RxPacket{Iface: rx.Iface, Pkt: adv, LocalDst: true, ViaTunnel: rx.ViaTunnel})
+		} else if adv.Hdr.HopLimit > 1 {
+			adv.Hdr.HopLimit--
+			_ = n.Output(adv)
+		}
+		return
+	}
+	if rx.Pkt.Hdr.Dst.IsMulticast() {
+		for _, fn := range n.mcastListeners {
+			fn(rx)
+		}
+	}
+	if n.handlePacketTooBig(rx) {
+		return
+	}
+	switch rx.Pkt.Proto {
+	case ipv6.ProtoUDP:
+		u, err := ipv6.ParseUDP(rx.Pkt.Hdr.Src, rx.Pkt.Hdr.Dst, rx.Pkt.Payload)
+		if err != nil {
+			n.drop("bad-udp")
+			return
+		}
+		if hs := n.udpSocks[u.DstPort]; len(hs) > 0 {
+			for _, h := range hs {
+				h(rx, u)
+			}
+		} else {
+			n.drop("udp-unbound")
+		}
+	default:
+		hs := n.protoHandlers[rx.Pkt.Proto]
+		if len(hs) == 0 {
+			n.drop("proto-unbound")
+			return
+		}
+		for _, h := range hs {
+			h(rx)
+		}
+	}
+}
+
+func (n *Node) forwardUnicast(rx RxPacket) {
+	pkt := rx.Pkt
+	if pkt.Hdr.Dst.IsLinkLocalUnicast() || pkt.Hdr.Src.IsLinkLocalUnicast() {
+		n.drop("link-local-scope")
+		return
+	}
+	if pkt.Hdr.HopLimit <= 1 {
+		n.drop("hop-limit")
+		return
+	}
+	if n.Routes == nil {
+		n.drop("no-route")
+		return
+	}
+	out, via, ok := n.Routes.NextHop(pkt.Hdr.Dst)
+	if !ok || out == nil || !out.Up() {
+		n.drop("no-route")
+		return
+	}
+	fwd := pkt.Clone()
+	fwd.Hdr.HopLimit--
+	if err := out.SendVia(fwd, via); err != nil {
+		n.drop("tx-error")
+	}
+}
+
+// Output originates a unicast packet from this node, consulting the route
+// table (or direct on-link resolution as a fallback). Multicast and
+// link-local destinations need an explicit interface; use OutputOn.
+func (n *Node) Output(pkt *ipv6.Packet) error {
+	dst := pkt.Hdr.Dst
+	if dst.IsMulticast() || dst.IsLinkLocalUnicast() {
+		return fmt.Errorf("netem: %s: Output of link-scoped destination %s needs OutputOn", n.Name, dst)
+	}
+	if n.Routes != nil {
+		if out, via, ok := n.Routes.NextHop(dst); ok && out != nil && out.Up() {
+			return out.SendVia(pkt, via)
+		}
+	}
+	// Fallback: direct on-link resolution.
+	for _, ifc := range n.Ifaces {
+		if ifc.Up() && ifc.Link.Resolve(dst) != nil {
+			return ifc.Send(pkt)
+		}
+	}
+	n.drop("no-route")
+	return nil
+}
+
+// OutputOn transmits pkt on a specific interface (link-scoped protocols:
+// MLD, NDP, PIM hellos, on-link delivery).
+func (n *Node) OutputOn(ifc *Interface, pkt *ipv6.Packet) error {
+	return ifc.Send(pkt)
+}
+
+func (n *Node) String() string { return n.Name }

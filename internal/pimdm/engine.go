@@ -1,0 +1,846 @@
+package pimdm
+
+import (
+	"sort"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/sim"
+)
+
+// Config holds the protocol timers, with the defaults the paper cites.
+type Config struct {
+	// HelloInterval between Hello messages (default 30s).
+	HelloInterval time.Duration
+	// HelloHoldtime advertised in Hellos (default 3.5 × HelloInterval).
+	HelloHoldtime time.Duration
+	// DataTimeout expires an (S,G) entry of a silent source — the paper's
+	// "(S,G) timer", default 210s (§3.1: "the time after which an (S,G)
+	// state for a silent source will be deleted").
+	DataTimeout time.Duration
+	// PruneDelay is the paper's T_PruneDel (default 3s): how long an
+	// upstream router waits after receiving a Prune before stopping
+	// forwarding, giving other routers the chance to send an overriding
+	// Join.
+	PruneDelay time.Duration
+	// PruneHoldtime is how long pruned state lasts before traffic re-floods
+	// (default 210s).
+	PruneHoldtime time.Duration
+	// JoinOverrideInterval bounds the random delay before a router that
+	// still needs traffic overrides a sibling's Prune with a Join
+	// (default 2.5s, < PruneDelay).
+	JoinOverrideInterval time.Duration
+	// GraftRetry is the Graft retransmission period until a Graft-Ack
+	// arrives (default 3s).
+	GraftRetry time.Duration
+	// AssertTime expires assert-loser state (default 180s).
+	AssertTime time.Duration
+	// AssertSuppress rate-limits our own Assert transmissions per
+	// (entry, interface).
+	AssertSuppress time.Duration
+	// DisablePruneEcho turns off the RFC 3973 §4.4.2 PruneEcho (sent when
+	// acting on a prune on a LAN with several downstream routers, giving a
+	// sibling whose overriding Join was lost a second chance). Exists for
+	// the ablation study; leave false.
+	DisablePruneEcho bool
+	// StateRefreshInterval enables the State Refresh extension when > 0:
+	// first-hop routers originate periodic per-(S,G) refreshes that keep
+	// prune state alive without the PruneHoldtime re-flood cycle (the
+	// mechanism PIM-DM later standardized in RFC 3973). Zero (the default)
+	// reproduces the paper-era behavior.
+	StateRefreshInterval time.Duration
+}
+
+// DefaultConfig returns the draft defaults used throughout the paper.
+func DefaultConfig() Config {
+	return Config{
+		HelloInterval:        30 * time.Second,
+		HelloHoldtime:        105 * time.Second,
+		DataTimeout:          210 * time.Second,
+		PruneDelay:           3 * time.Second,
+		PruneHoldtime:        210 * time.Second,
+		JoinOverrideInterval: 2500 * time.Millisecond,
+		GraftRetry:           3 * time.Second,
+		AssertTime:           180 * time.Second,
+		AssertSuppress:       time.Second,
+	}
+}
+
+// UnicastRouting is what PIM needs from the unicast substrate ("protocol
+// independent": any IGP providing these answers will do).
+// routing.RouterTable implements it.
+type UnicastRouting interface {
+	// RPFInterface returns the interface and upstream neighbor toward src
+	// (neighbor is the zero address when src is directly attached).
+	RPFInterface(src ipv6.Addr) (*netem.Interface, ipv6.Addr, bool)
+	// HopsTo is the unicast metric toward dst, for Assert comparison.
+	HopsTo(dst ipv6.Addr) (int, bool)
+}
+
+// Stats counts protocol activity; the benchmarks reproduce the paper's
+// overhead arguments from these.
+type Stats struct {
+	HellosSent        uint64
+	PrunesSent        uint64
+	JoinsSent         uint64
+	GraftsSent        uint64
+	GraftAcksSent     uint64
+	AssertsSent       uint64
+	AssertsHeard      uint64
+	DataForwarded     uint64 // copies transmitted
+	DataArrived       uint64 // datagrams offered to the engine
+	RPFFailures       uint64 // arrived on wrong interface
+	EntriesCreated    uint64
+	FloodsStarted     uint64 // new (S,G) entries = initial floods
+	StateRefreshSent  uint64
+	StateRefreshHeard uint64
+	PruneEchoesSent   uint64
+}
+
+// Engine is the PIM-DM instance on one router.
+type Engine struct {
+	Node    *netem.Node
+	Config  Config
+	Routing UnicastRouting
+	Stats   Stats
+
+	// MetricPreference is this router's administrative distance advertised
+	// in Asserts (default 101, as for a unicast IGP route).
+	MetricPreference uint32
+
+	neighbors map[*netem.Interface]map[ipv6.Addr]*neighbor
+	entries   map[sgKey]*sgEntry
+
+	// localMembers[group][iface] tracks link-local membership from MLD;
+	// iface == nil records node-local members (a home agent subscribing on
+	// behalf of mobile nodes).
+	localMembers map[ipv6.Addr]map[*netem.Interface]int
+
+	hellos map[*netem.Interface]*sim.Ticker
+}
+
+type neighbor struct {
+	addr   ipv6.Addr
+	expiry *sim.Timer
+}
+
+type sgKey struct {
+	src, group ipv6.Addr
+}
+
+type sgEntry struct {
+	e   *Engine
+	key sgKey
+
+	upstream    *netem.Interface // RPF interface toward src
+	upstreamNbr ipv6.Addr        // RPF neighbor (zero: src directly attached)
+	expiry      *sim.Timer       // the 210s data timeout
+
+	downstream map[*netem.Interface]*downstreamState
+
+	// Upstream state.
+	prunedUpstream bool     // we sent a Prune toward the source
+	lastPruneSent  sim.Time // rate limiting
+	hasPruneSent   bool
+	graftPending   bool        // awaiting Graft-Ack
+	graftTimer     *sim.Timer  // retransmission
+	joinOverride   *sim.Timer  // pending override Join
+	refreshTicker  *sim.Ticker // State Refresh origination (first-hop only)
+}
+
+type downstreamState struct {
+	entry *sgEntry
+	ifc   *netem.Interface
+
+	pruned          bool
+	pruneTimer      *sim.Timer    // pruned-state lifetime, then resume flooding
+	pruneDelay      *sim.Timer    // LAN prune delay before acting on a Prune
+	pendingHoldtime time.Duration // holdtime of the Prune being delayed
+
+	assertLoser  bool
+	assertTimer  *sim.Timer
+	lastAssertTx sim.Time
+	hasAssertTx  bool
+}
+
+// New creates the PIM-DM engine on node and registers it as the node's
+// multicast forwarder. All current and future interfaces run PIM.
+func New(node *netem.Node, cfg Config, routing UnicastRouting) *Engine {
+	e := &Engine{
+		Node:             node,
+		Config:           cfg,
+		Routing:          routing,
+		MetricPreference: 101,
+		neighbors:        map[*netem.Interface]map[ipv6.Addr]*neighbor{},
+		entries:          map[sgKey]*sgEntry{},
+		localMembers:     map[ipv6.Addr]map[*netem.Interface]int{},
+		hellos:           map[*netem.Interface]*sim.Ticker{},
+	}
+	node.Forwarder = e
+	node.HandleProto(ipv6.ProtoPIM, e.handlePIM)
+	for _, ifc := range node.Ifaces {
+		e.startIface(ifc)
+	}
+	node.OnAttach(func(ifc *netem.Interface) { e.startIface(ifc) })
+	return e
+}
+
+func (e *Engine) startIface(ifc *netem.Interface) {
+	if _, ok := e.hellos[ifc]; ok {
+		return
+	}
+	ifc.JoinGroup(ipv6.AllPIMRouters)
+	e.neighbors[ifc] = map[ipv6.Addr]*neighbor{}
+	s := e.Node.Sched()
+	e.hellos[ifc] = sim.NewTicker(s, e.Config.HelloInterval, e.Config.HelloInterval/10, func() {
+		e.sendHello(ifc)
+	})
+	// Triggered hello on startup, with small jitter.
+	s.Schedule(time.Duration(s.Rand().Int63n(int64(100*time.Millisecond))), func() { e.sendHello(ifc) })
+}
+
+// --- message transmission -------------------------------------------------
+
+func (e *Engine) sendPIM(ifc *netem.Interface, dst ipv6.Addr, msg Message) {
+	if !ifc.Up() {
+		return
+	}
+	src := ifc.LinkLocal()
+	body, err := Marshal(src, dst, msg)
+	if err != nil {
+		return
+	}
+	pkt := &ipv6.Packet{
+		Hdr:     ipv6.Header{Src: src, Dst: dst, HopLimit: 1},
+		Proto:   ipv6.ProtoPIM,
+		Payload: body,
+	}
+	_ = e.Node.OutputOn(ifc, pkt)
+}
+
+func (e *Engine) sendHello(ifc *netem.Interface) {
+	e.sendPIM(ifc, ipv6.AllPIMRouters, &Hello{Holdtime: e.Config.HelloHoldtime})
+	e.Stats.HellosSent++
+}
+
+// --- neighbor tracking ------------------------------------------------------
+
+func (e *Engine) handlePIM(rx netem.RxPacket) {
+	msg, err := Parse(rx.Pkt.Hdr.Src, rx.Pkt.Hdr.Dst, rx.Pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch m := msg.(type) {
+	case *Hello:
+		e.onHello(rx.Iface, rx.Pkt.Hdr.Src, m)
+	case *JoinPrune:
+		switch m.Kind {
+		case TypeJoinPrune:
+			e.onJoinPrune(rx.Iface, rx.Pkt.Hdr.Src, m)
+		case TypeGraft:
+			e.onGraft(rx.Iface, rx.Pkt.Hdr.Src, m)
+		case TypeGraftAck:
+			e.onGraftAck(rx.Iface, m)
+		}
+	case *Assert:
+		e.onAssert(rx.Iface, rx.Pkt.Hdr.Src, m)
+	case *StateRefresh:
+		e.onStateRefresh(rx.Iface, m)
+	}
+}
+
+func (e *Engine) onHello(ifc *netem.Interface, src ipv6.Addr, h *Hello) {
+	nbrs, ok := e.neighbors[ifc]
+	if !ok {
+		return
+	}
+	nb, known := nbrs[src]
+	if h.Holdtime == 0 { // goodbye
+		if known {
+			nb.expiry.Stop()
+			delete(nbrs, src)
+		}
+		return
+	}
+	if !known {
+		nb = &neighbor{addr: src}
+		a := src
+		nb.expiry = sim.NewTimer(e.Node.Sched(), func() { delete(nbrs, a) })
+		nbrs[src] = nb
+		// A new neighbor: trigger a hello so it learns us quickly.
+		e.sendHello(ifc)
+	}
+	nb.expiry.Reset(h.Holdtime)
+}
+
+// HasNeighbors reports whether any PIM router is alive on ifc's link.
+func (e *Engine) HasNeighbors(ifc *netem.Interface) bool {
+	return len(e.neighbors[ifc]) > 0
+}
+
+// NeighborCount returns the number of live PIM neighbors on ifc.
+func (e *Engine) NeighborCount(ifc *netem.Interface) int { return len(e.neighbors[ifc]) }
+
+// --- local membership -------------------------------------------------------
+
+// HandleListenerChange feeds MLD listener transitions into the engine (wire
+// mld.Router.OnListenerChange to this).
+func (e *Engine) HandleListenerChange(ifc *netem.Interface, group ipv6.Addr, present bool) {
+	if present {
+		e.addMember(group, ifc)
+	} else {
+		e.removeMember(group, ifc)
+	}
+}
+
+// AddLocalMember registers a node-local member of group (reference
+// counted): the home-agent role uses this to receive group traffic it must
+// tunnel to mobile nodes. The engine grafts toward sources as needed.
+func (e *Engine) AddLocalMember(group ipv6.Addr) { e.addMember(group, nil) }
+
+// RemoveLocalMember drops one node-local membership reference.
+func (e *Engine) RemoveLocalMember(group ipv6.Addr) { e.removeMember(group, nil) }
+
+func (e *Engine) addMember(group ipv6.Addr, ifc *netem.Interface) {
+	m := e.localMembers[group]
+	if m == nil {
+		m = map[*netem.Interface]int{}
+		e.localMembers[group] = m
+	}
+	m[ifc]++
+	if m[ifc] > 1 && ifc == nil {
+		return // refcount bump only
+	}
+	// Membership appeared: revive matching (S,G) entries.
+	for key, ent := range e.entries {
+		if key.group != group {
+			continue
+		}
+		if ifc != nil && ifc != ent.upstream {
+			if ds := ent.downstream[ifc]; ds != nil && ds.pruned {
+				ds.unprune()
+			}
+		}
+		ent.reconsiderUpstream()
+	}
+}
+
+func (e *Engine) removeMember(group ipv6.Addr, ifc *netem.Interface) {
+	m := e.localMembers[group]
+	if m == nil {
+		return
+	}
+	if m[ifc] > 1 {
+		m[ifc]--
+		return
+	}
+	delete(m, ifc)
+	if len(m) == 0 {
+		delete(e.localMembers, group)
+	}
+	for key, ent := range e.entries {
+		if key.group == group {
+			ent.reconsiderUpstream()
+		}
+	}
+}
+
+func (e *Engine) hasLinkMembers(ifc *netem.Interface, group ipv6.Addr) bool {
+	return e.localMembers[group][ifc] > 0
+}
+
+func (e *Engine) hasNodeMembers(group ipv6.Addr) bool {
+	return e.localMembers[group][nil] > 0
+}
+
+// --- (S,G) state ------------------------------------------------------------
+
+func (e *Engine) entry(src, group ipv6.Addr) (*sgEntry, bool) {
+	ent, ok := e.entries[sgKey{src, group}]
+	return ent, ok
+}
+
+func (e *Engine) getOrCreate(src, group ipv6.Addr) *sgEntry {
+	key := sgKey{src, group}
+	if ent, ok := e.entries[key]; ok {
+		return ent
+	}
+	upIfc, upNbr, ok := e.Routing.RPFInterface(src)
+	if !ok {
+		return nil
+	}
+	ent := &sgEntry{
+		e:           e,
+		key:         key,
+		upstream:    upIfc,
+		upstreamNbr: upNbr,
+		downstream:  map[*netem.Interface]*downstreamState{},
+	}
+	s := e.Node.Sched()
+	ent.expiry = sim.NewTimer(s, func() { e.deleteEntry(ent) })
+	ent.expiry.Reset(e.Config.DataTimeout)
+	ent.graftTimer = sim.NewTimer(s, func() { ent.sendGraft() })
+	ent.joinOverride = sim.NewTimer(s, func() { ent.sendOverrideJoin() })
+	for _, ifc := range e.Node.Ifaces {
+		if ifc != upIfc {
+			ent.downstream[ifc] = &downstreamState{entry: ent, ifc: ifc}
+		}
+	}
+	e.entries[key] = ent
+	e.Stats.EntriesCreated++
+	e.Stats.FloodsStarted++
+	ent.startStateRefresh()
+	return ent
+}
+
+func (e *Engine) deleteEntry(ent *sgEntry) {
+	ent.expiry.Stop()
+	ent.graftTimer.Stop()
+	ent.joinOverride.Stop()
+	if ent.refreshTicker != nil {
+		ent.refreshTicker.Stop()
+	}
+	for _, ds := range ent.downstream {
+		ds.stopTimers()
+	}
+	delete(e.entries, ent.key)
+}
+
+// EntryCount reports live (S,G) state — the storage load the paper
+// attributes to stale trees of moved senders.
+func (e *Engine) EntryCount() int { return len(e.entries) }
+
+// SGInfo is a snapshot of one (S,G) entry for inspection.
+type SGInfo struct {
+	Source, Group  ipv6.Addr
+	Upstream       string
+	PrunedUpstream bool
+	ForwardingOn   []string
+	PrunedOn       []string
+}
+
+// Entries snapshots all (S,G) state, sorted for determinism.
+func (e *Engine) Entries() []SGInfo {
+	out := make([]SGInfo, 0, len(e.entries))
+	for key, ent := range e.entries {
+		info := SGInfo{
+			Source:         key.src,
+			Group:          key.group,
+			PrunedUpstream: ent.prunedUpstream,
+		}
+		if ent.upstream != nil {
+			info.Upstream = ent.upstream.Link.Name
+		}
+		for ifc, ds := range ent.downstream {
+			if !ifc.Up() {
+				continue
+			}
+			if ds.pruned || ds.assertLoser {
+				info.PrunedOn = append(info.PrunedOn, ifc.Link.Name)
+			} else if ent.shouldForward(ifc, ds) {
+				info.ForwardingOn = append(info.ForwardingOn, ifc.Link.Name)
+			}
+		}
+		sort.Strings(info.ForwardingOn)
+		sort.Strings(info.PrunedOn)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source.Less(out[j].Source)
+		}
+		return out[i].Group.Less(out[j].Group)
+	})
+	return out
+}
+
+// shouldForward: interface is in the outgoing list if it has PIM neighbors
+// whose demand has not been pruned away, or local MLD members (membership
+// always wins over a neighbor's Prune — the Prune only withdraws *router*
+// demand), and we have not lost an Assert on it.
+func (ent *sgEntry) shouldForward(ifc *netem.Interface, ds *downstreamState) bool {
+	if ds.assertLoser || !ifc.Up() {
+		return false
+	}
+	if ent.e.hasLinkMembers(ifc, ent.key.group) {
+		return true
+	}
+	return ent.e.HasNeighbors(ifc) && !ds.pruned
+}
+
+func (ent *sgEntry) hasDownstreamDemand() bool {
+	for ifc, ds := range ent.downstream {
+		if ent.shouldForward(ifc, ds) {
+			return true
+		}
+	}
+	return ent.e.hasNodeMembers(ent.key.group)
+}
+
+// --- data path ----------------------------------------------------------------
+
+// ForwardMulticast implements netem.MulticastForwarder.
+func (e *Engine) ForwardMulticast(rx netem.RxPacket) {
+	src, group := rx.Pkt.Hdr.Src, rx.Pkt.Hdr.Dst
+	// Link-local-sourced packets (MLD reports to global-scope groups, etc.)
+	// are never multicast-routed and must not create state.
+	if src.IsLinkLocalUnicast() || src.IsUnspecified() {
+		return
+	}
+	e.Stats.DataArrived++
+	ent := e.getOrCreate(src, group)
+	if ent == nil {
+		e.Stats.RPFFailures++
+		return
+	}
+	// Interface set may have changed (mobility of the router is not
+	// modeled, but new interfaces can appear).
+	for _, ifc := range e.Node.Ifaces {
+		if ifc != ent.upstream && ent.downstream[ifc] == nil {
+			ent.downstream[ifc] = &downstreamState{entry: ent, ifc: ifc}
+		}
+	}
+
+	if rx.Iface != ent.upstream {
+		// RPF failure. If the packet showed up on an interface we forward
+		// this (S,G) onto, there are two forwarders on that LAN (or a
+		// stale-addressed mobile sender, paper §4.3.1): assert.
+		e.Stats.RPFFailures++
+		if ds := ent.downstream[rx.Iface]; ds != nil && ent.shouldForward(rx.Iface, ds) {
+			ent.maybeSendAssert(rx.Iface)
+		}
+		return
+	}
+
+	ent.expiry.Reset(e.Config.DataTimeout)
+
+	forwarded := false
+	if rx.Pkt.Hdr.HopLimit > 1 {
+		for ifc, ds := range ent.downstream {
+			if !ent.shouldForward(ifc, ds) {
+				continue
+			}
+			out := rx.Pkt.Clone()
+			out.Hdr.HopLimit--
+			if err := ifc.Send(out); err == nil {
+				e.Stats.DataForwarded++
+				forwarded = true
+			}
+		}
+	}
+	_ = forwarded
+
+	// No downstream demand: prune toward the source (rate limited).
+	if !ent.hasDownstreamDemand() {
+		ent.maybeSendPrune()
+	}
+}
+
+// --- prune / join / graft ---------------------------------------------------
+
+func (ent *sgEntry) maybeSendPrune() {
+	e := ent.e
+	if ent.upstreamNbr.IsUnspecified() {
+		return // source is directly attached; nowhere to prune
+	}
+	now := e.Node.Sched().Now()
+	// Re-prunes (state already pruned upstream but data keeps arriving,
+	// e.g. because the upstream LAN has local members) are rate limited;
+	// the initial prune always goes out.
+	rateLimit := e.Config.PruneHoldtime / 3
+	if rateLimit < e.Config.PruneDelay {
+		rateLimit = e.Config.PruneDelay
+	}
+	if ent.hasPruneSent && ent.prunedUpstream && now.Sub(ent.lastPruneSent) < rateLimit {
+		return
+	}
+	msg := &JoinPrune{
+		Kind:             TypeJoinPrune,
+		UpstreamNeighbor: ent.upstreamNbr,
+		Holdtime:         e.Config.PruneHoldtime,
+		Groups: []JoinPruneGroup{{
+			Group:  ent.key.group,
+			Prunes: []ipv6.Addr{ent.key.src},
+		}},
+	}
+	e.sendPIM(ent.upstream, ipv6.AllPIMRouters, msg)
+	e.Stats.PrunesSent++
+	ent.prunedUpstream = true
+	ent.hasPruneSent = true
+	ent.lastPruneSent = now
+}
+
+func (ent *sgEntry) sendGraft() {
+	e := ent.e
+	if ent.upstreamNbr.IsUnspecified() || !ent.graftPending {
+		return
+	}
+	msg := &JoinPrune{
+		Kind:             TypeGraft,
+		UpstreamNeighbor: ent.upstreamNbr,
+		Groups: []JoinPruneGroup{{
+			Group: ent.key.group,
+			Joins: []ipv6.Addr{ent.key.src},
+		}},
+	}
+	// Grafts are unicast to the upstream neighbor and retransmitted until
+	// acknowledged (§4.6).
+	e.sendPIM(ent.upstream, ent.upstreamNbr, msg)
+	e.Stats.GraftsSent++
+	ent.graftTimer.Reset(e.Config.GraftRetry)
+}
+
+func (ent *sgEntry) sendOverrideJoin() {
+	e := ent.e
+	if ent.upstreamNbr.IsUnspecified() {
+		return
+	}
+	msg := &JoinPrune{
+		Kind:             TypeJoinPrune,
+		UpstreamNeighbor: ent.upstreamNbr,
+		Holdtime:         e.Config.PruneHoldtime,
+		Groups: []JoinPruneGroup{{
+			Group: ent.key.group,
+			Joins: []ipv6.Addr{ent.key.src},
+		}},
+	}
+	e.sendPIM(ent.upstream, ipv6.AllPIMRouters, msg)
+	e.Stats.JoinsSent++
+}
+
+// reconsiderUpstream grafts or prunes upstream as downstream demand changes.
+func (ent *sgEntry) reconsiderUpstream() {
+	if ent.hasDownstreamDemand() {
+		if ent.prunedUpstream && !ent.upstreamNbr.IsUnspecified() {
+			ent.prunedUpstream = false
+			ent.graftPending = true
+			ent.sendGraft()
+		}
+	} else if !ent.prunedUpstream {
+		ent.maybeSendPrune()
+	}
+}
+
+func (e *Engine) onJoinPrune(ifc *netem.Interface, src ipv6.Addr, m *JoinPrune) {
+	forUs := e.Node.HasAddr(m.UpstreamNeighbor) || m.UpstreamNeighbor == ifc.LinkLocal()
+	for _, g := range m.Groups {
+		for _, s := range g.Prunes {
+			ent, ok := e.entry(s, g.Group)
+			if !ok {
+				continue
+			}
+			if forUs {
+				// Downstream prune: start the LAN prune delay.
+				if ds := ent.downstream[ifc]; ds != nil && !ds.pruned {
+					ds.startPruneDelay(m.Holdtime)
+				}
+			} else if ifc == ent.upstream {
+				// A sibling pruned our upstream LAN; if we still need the
+				// traffic, schedule an overriding Join (§4.4.2).
+				if ent.hasDownstreamDemand() && !ent.prunedUpstream {
+					d := time.Duration(e.Node.Sched().Rand().Int63n(int64(e.Config.JoinOverrideInterval)))
+					ent.joinOverride.Reset(d)
+				}
+			}
+		}
+		for _, s := range g.Joins {
+			ent, ok := e.entry(s, g.Group)
+			if !ok {
+				continue
+			}
+			if forUs {
+				// Join cancels a pending prune delay and clears prune state.
+				if ds := ent.downstream[ifc]; ds != nil {
+					ds.cancelPrune()
+				}
+			} else if ifc == ent.upstream {
+				// Someone else sent the override; suppress ours.
+				ent.joinOverride.Stop()
+			}
+		}
+	}
+}
+
+func (e *Engine) onGraft(ifc *netem.Interface, src ipv6.Addr, m *JoinPrune) {
+	if !(e.Node.HasAddr(m.UpstreamNeighbor) || m.UpstreamNeighbor == ifc.LinkLocal()) {
+		return
+	}
+	ack := &JoinPrune{Kind: TypeGraftAck, UpstreamNeighbor: m.UpstreamNeighbor, Groups: m.Groups}
+	for _, g := range m.Groups {
+		for _, s := range g.Joins {
+			ent := e.getOrCreate(s, g.Group)
+			if ent == nil {
+				continue
+			}
+			if ds := ent.downstream[ifc]; ds != nil {
+				ds.cancelPrune()
+			}
+			// Propagate upstream if we had pruned.
+			ent.reconsiderUpstream()
+		}
+	}
+	e.sendPIM(ifc, src, ack)
+	e.Stats.GraftAcksSent++
+}
+
+func (e *Engine) onGraftAck(ifc *netem.Interface, m *JoinPrune) {
+	for _, g := range m.Groups {
+		for _, s := range g.Joins {
+			if ent, ok := e.entry(s, g.Group); ok {
+				ent.graftPending = false
+				ent.graftTimer.Stop()
+			}
+		}
+	}
+}
+
+// --- downstream state machines -----------------------------------------------
+
+func (ds *downstreamState) startPruneDelay(holdtime time.Duration) {
+	e := ds.entry.e
+	if ds.pruneDelay == nil {
+		ds.pruneDelay = sim.NewTimer(e.Node.Sched(), func() { ds.prune(ds.pendingHoldtime) })
+	}
+	if ds.pruneDelay.Running() {
+		return // a prune is already pending on this LAN
+	}
+	ds.pendingHoldtime = holdtime
+	ds.pruneDelay.Reset(e.Config.PruneDelay)
+}
+
+func (ds *downstreamState) prune(holdtime time.Duration) {
+	e := ds.entry.e
+	ds.pruned = true
+	if holdtime <= 0 {
+		holdtime = e.Config.PruneHoldtime
+	}
+	s := e.Node.Sched()
+	if ds.pruneTimer == nil {
+		ds.pruneTimer = sim.NewTimer(s, func() { ds.unprune() })
+	}
+	ds.pruneTimer.Reset(holdtime)
+	// PruneEcho (RFC 3973 §4.4.2): on a LAN with several downstream
+	// routers, echo the prune we are acting on, addressed to ourselves.
+	// A sibling whose overriding Join was lost gets a second chance to
+	// override before the outage lasts a whole PruneHoldtime.
+	if !e.Config.DisablePruneEcho && e.NeighborCount(ds.ifc) > 1 {
+		echo := &JoinPrune{
+			Kind:             TypeJoinPrune,
+			UpstreamNeighbor: ds.ifc.LinkLocal(),
+			Holdtime:         holdtime,
+			Groups: []JoinPruneGroup{{
+				Group:  ds.entry.key.group,
+				Prunes: []ipv6.Addr{ds.entry.key.src},
+			}},
+		}
+		e.sendPIM(ds.ifc, ipv6.AllPIMRouters, echo)
+		e.Stats.PruneEchoesSent++
+	}
+	// All downstream demand gone? Propagate the prune.
+	ds.entry.reconsiderUpstream()
+}
+
+// unprune resumes forwarding (prune lifetime expired, or a Join/Graft
+// arrived).
+func (ds *downstreamState) unprune() {
+	ds.pruned = false
+	ds.entry.reconsiderUpstream()
+}
+
+func (ds *downstreamState) cancelPrune() {
+	if ds.pruneDelay != nil {
+		ds.pruneDelay.Stop()
+	}
+	if ds.pruned {
+		if ds.pruneTimer != nil {
+			ds.pruneTimer.Stop()
+		}
+		ds.unprune()
+	}
+}
+
+func (ds *downstreamState) stopTimers() {
+	if ds.pruneDelay != nil {
+		ds.pruneDelay.Stop()
+	}
+	if ds.pruneTimer != nil {
+		ds.pruneTimer.Stop()
+	}
+	if ds.assertTimer != nil {
+		ds.assertTimer.Stop()
+	}
+}
+
+// --- assert -------------------------------------------------------------------
+
+func (ent *sgEntry) assertMetric() (pref, metric uint32) {
+	hops, ok := ent.e.Routing.HopsTo(ent.key.src)
+	if !ok {
+		return 0x7fffffff, 0xffffffff
+	}
+	return ent.e.MetricPreference, uint32(hops)
+}
+
+func (ent *sgEntry) maybeSendAssert(ifc *netem.Interface) {
+	e := ent.e
+	ds := ent.downstream[ifc]
+	if ds == nil {
+		return
+	}
+	now := e.Node.Sched().Now()
+	if ds.hasAssertTx && now.Sub(ds.lastAssertTx) < e.Config.AssertSuppress {
+		return
+	}
+	pref, metric := ent.assertMetric()
+	e.sendPIM(ifc, ipv6.AllPIMRouters, &Assert{
+		Group:            ent.key.group,
+		Source:           ent.key.src,
+		MetricPreference: pref,
+		Metric:           metric,
+	})
+	e.Stats.AssertsSent++
+	ds.lastAssertTx = now
+	ds.hasAssertTx = true
+}
+
+func (e *Engine) onAssert(ifc *netem.Interface, src ipv6.Addr, a *Assert) {
+	e.Stats.AssertsHeard++
+	ent, ok := e.entry(a.Source, a.Group)
+	if !ok {
+		return
+	}
+	ds := ent.downstream[ifc]
+	if ds == nil {
+		// Assert heard on our upstream interface: the winner becomes the
+		// router we address Grafts/Joins/Prunes to.
+		if ifc == ent.upstream && !ent.upstreamNbr.IsUnspecified() {
+			myPref, myMetric := uint32(0x7fffffff), uint32(0xffffffff) // we don't forward here
+			if Better(a.MetricPreference, a.Metric, src, myPref, myMetric, ifc.LinkLocal()) {
+				ent.upstreamNbr = src
+			}
+		}
+		return
+	}
+	if !ent.shouldForward(ifc, ds) && ds.assertLoser {
+		// Already lost; refresh loser state.
+		ds.assertTimer.Reset(e.Config.AssertTime)
+		return
+	}
+	myPref, myMetric := ent.assertMetric()
+	if Better(a.MetricPreference, a.Metric, src, myPref, myMetric, ifc.LinkLocal()) {
+		// We lose: stop forwarding on this interface for AssertTime.
+		ds.assertLoser = true
+		if ds.assertTimer == nil {
+			ds.assertTimer = sim.NewTimer(e.Node.Sched(), func() {
+				ds.assertLoser = false
+				ds.entry.reconsiderUpstream()
+			})
+		}
+		ds.assertTimer.Reset(e.Config.AssertTime)
+		ent.reconsiderUpstream()
+	} else {
+		// We win: answer so the loser learns (rate limited).
+		ent.maybeSendAssert(ifc)
+	}
+}

@@ -1,0 +1,130 @@
+package pimdm_test
+
+// Model-based randomized testing: drive the Figure 1 network with random
+// interleavings of memberships, senders appearing/disappearing on random
+// links, and time advances; assert structural invariants after every step
+// and full state decay at quiescence. Each seed is deterministic, so any
+// failure is replayable.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/mld"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/pimdm"
+)
+
+func TestRandomOperationsInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := pimdm.DefaultConfig()
+			f := newFig1(seed, cfg, mld.FastConfig(20*time.Second))
+			rng := f.s.Rand()
+			linkNames := []string{"L1", "L2", "L3", "L4", "L5", "L6"}
+
+			groups := make([]ipv6.Addr, 3)
+			for i := range groups {
+				groups[i] = ipv6.MustParseAddr(fmt.Sprintf("ff0e::%d", 0x400+i))
+			}
+
+			// A pool of member hosts, one per link, each with an MLD host.
+			type member struct {
+				h   *mld.Host
+				ifc *netem.Interface
+			}
+			members := map[string]member{}
+			for i, ln := range linkNames {
+				n := f.net.NewNode(fmt.Sprintf("m%d", i), false)
+				ifc := n.AddInterface(f.links[ln])
+				p := ipv6.MustParseAddr(fmt.Sprintf("2001:db8:%d::", i+1))
+				ifc.AddAddr(p.WithInterfaceID(uint64(0x700 + i)))
+				members[ln] = member{h: mld.NewHost(n, mld.DefaultHostConfig()), ifc: ifc}
+			}
+			// A pool of senders, one per link.
+			senders := map[string]*netem.Node{}
+			sendAddrs := map[string]ipv6.Addr{}
+			for i, ln := range linkNames {
+				n := f.net.NewNode(fmt.Sprintf("s%d", i), false)
+				ifc := n.AddInterface(f.links[ln])
+				a := ipv6.MustParseAddr(fmt.Sprintf("2001:db8:%d::", i+1)).WithInterfaceID(uint64(0x800 + i))
+				ifc.AddAddr(a)
+				senders[ln] = n
+				sendAddrs[ln] = a
+			}
+			maxSources := len(linkNames) * len(groups)
+
+			checkInvariants := func(step int) {
+				total := 0
+				for _, name := range []string{"A", "B", "C", "D", "E"} {
+					e := f.engines[name]
+					n := e.EntryCount()
+					total += n
+					if n > maxSources {
+						t.Fatalf("step %d: %s holds %d entries > %d possible (S,G) pairs",
+							step, name, n, maxSources)
+					}
+					for _, info := range e.Entries() {
+						if info.Upstream == "" {
+							t.Fatalf("step %d: %s entry with no upstream: %+v", step, name, info)
+						}
+						for _, fw := range info.ForwardingOn {
+							if fw == info.Upstream {
+								t.Fatalf("step %d: %s forwards onto its own upstream %s",
+									step, name, fw)
+							}
+						}
+					}
+				}
+				if total > 5*maxSources {
+					t.Fatalf("step %d: %d entries network-wide", step, total)
+				}
+			}
+
+			for step := 0; step < 120; step++ {
+				switch rng.Intn(4) {
+				case 0: // toggle a membership
+					ln := linkNames[rng.Intn(len(linkNames))]
+					g := groups[rng.Intn(len(groups))]
+					m := members[ln]
+					if m.h.Member(m.ifc, g) {
+						m.h.Leave(m.ifc, g)
+					} else {
+						m.h.Join(m.ifc, g)
+					}
+				case 1: // burst of datagrams from a random sender
+					ln := linkNames[rng.Intn(len(linkNames))]
+					g := groups[rng.Intn(len(groups))]
+					a := sendAddrs[ln]
+					for k := 0; k < 1+rng.Intn(5); k++ {
+						u := &ipv6.UDP{SrcPort: 9000, DstPort: 9000, Payload: []byte{byte(k)}}
+						pkt := &ipv6.Packet{
+							Hdr:     ipv6.Header{Src: a, Dst: g, HopLimit: 64},
+							Proto:   ipv6.ProtoUDP,
+							Payload: u.Marshal(a, g),
+						}
+						_ = senders[ln].OutputOn(senders[ln].Ifaces[0], pkt)
+					}
+				case 2: // short advance
+					f.s.RunFor(time.Duration(rng.Intn(2000)) * time.Millisecond)
+				case 3: // longer advance (lets timers fire)
+					f.s.RunFor(time.Duration(5+rng.Intn(30)) * time.Second)
+				}
+				f.s.RunFor(10 * time.Millisecond) // drain in-flight frames
+				checkInvariants(step)
+			}
+
+			// Quiescence: no more data; everything must decay within the
+			// data timeout (plus slack for prune/graft stragglers).
+			f.s.RunFor(cfg.DataTimeout + time.Minute)
+			for _, name := range []string{"A", "B", "C", "D", "E"} {
+				if n := f.engines[name].EntryCount(); n != 0 {
+					t.Errorf("%s holds %d entries after quiescence", name, n)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package pimdm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/sim"
+)
+
+// State Refresh — the control-plane fix that PIM-DM later standardized
+// (RFC 3973) for exactly the overhead the paper's §4.3.1 quantifies: with
+// plain dense mode, prune state expires every PruneHoldtime and traffic
+// re-floods the whole network. With State Refresh, the router directly
+// attached to the source originates a periodic refresh message per (S,G);
+// it propagates down the (whole) broadcast tree and resets prune state and
+// (S,G) expiry as it goes, so pruned branches stay pruned without
+// re-flooding data.
+//
+// The feature is optional (Config.StateRefreshInterval > 0 enables it) so
+// the ablation benchmark can measure the paper-era behavior against it.
+
+// TypeStateRefresh is the PIM message type (RFC 3973 §4.7.5.1).
+const TypeStateRefresh uint8 = 9
+
+// StateRefresh is the periodic tree-maintenance message.
+type StateRefresh struct {
+	Group      ipv6.Addr
+	Source     ipv6.Addr
+	Originator ipv6.Addr // first-hop router's address
+	// Metric advertised as in Asserts.
+	MetricPreference uint32
+	Metric           uint32
+	// TTL bounds propagation (decremented per hop).
+	TTL uint8
+	// PruneIndicator is set when the message was forwarded onto a pruned
+	// interface.
+	PruneIndicator bool
+	// Interval the originator uses, so downstream routers can size their
+	// keepalives.
+	Interval time.Duration
+}
+
+// PIMType implements Message.
+func (*StateRefresh) PIMType() uint8 { return TypeStateRefresh }
+
+func (sr *StateRefresh) body() ([]byte, error) {
+	b := putEncodedGroup(nil, sr.Group)
+	b = putEncodedUnicast(b, sr.Source)
+	b = putEncodedUnicast(b, sr.Originator)
+	var w [12]byte
+	binary.BigEndian.PutUint32(w[0:4], sr.MetricPreference&0x7fffffff)
+	binary.BigEndian.PutUint32(w[4:8], sr.Metric)
+	w[8] = sr.TTL
+	if sr.PruneIndicator {
+		w[9] = 0x80
+	}
+	secs := sr.Interval / time.Second
+	if secs > 255 {
+		secs = 255
+	}
+	w[10] = byte(secs)
+	return append(b, w[:]...), nil
+}
+
+func parseStateRefresh(b []byte) (*StateRefresh, error) {
+	sr := &StateRefresh{}
+	var err error
+	sr.Group, b, err = getEncodedGroup(b)
+	if err != nil {
+		return nil, err
+	}
+	sr.Source, b, err = getEncodedUnicast(b)
+	if err != nil {
+		return nil, err
+	}
+	sr.Originator, b, err = getEncodedUnicast(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 12 {
+		return nil, fmt.Errorf("pimdm: state refresh tail is %d bytes", len(b))
+	}
+	sr.MetricPreference = binary.BigEndian.Uint32(b[0:4]) & 0x7fffffff
+	sr.Metric = binary.BigEndian.Uint32(b[4:8])
+	sr.TTL = b[8]
+	sr.PruneIndicator = b[9]&0x80 != 0
+	sr.Interval = time.Duration(b[10]) * time.Second
+	return sr, nil
+}
+
+// startStateRefresh arms per-entry origination on the first-hop router.
+func (ent *sgEntry) startStateRefresh() {
+	e := ent.e
+	if e.Config.StateRefreshInterval <= 0 || !ent.upstreamNbr.IsUnspecified() {
+		return // disabled, or we are not the first-hop router
+	}
+	if ent.refreshTicker != nil {
+		return
+	}
+	ent.refreshTicker = sim.NewTicker(e.Node.Sched(), e.Config.StateRefreshInterval, 0, func() {
+		ent.originateStateRefresh()
+	})
+}
+
+func (ent *sgEntry) originateStateRefresh() {
+	e := ent.e
+	if _, ok := e.entries[ent.key]; !ok {
+		return // entry deleted; ticker about to be stopped
+	}
+	pref, metric := ent.assertMetric()
+	sr := &StateRefresh{
+		Group:            ent.key.group,
+		Source:           ent.key.src,
+		Originator:       ent.upstream.GlobalAddr(),
+		MetricPreference: pref,
+		Metric:           metric,
+		TTL:              32,
+		Interval:         e.Config.StateRefreshInterval,
+	}
+	ent.propagateStateRefresh(sr)
+}
+
+// propagateStateRefresh sends the message on every downstream PIM
+// interface — including pruned ones, whose prune state it refreshes.
+func (ent *sgEntry) propagateStateRefresh(sr *StateRefresh) {
+	e := ent.e
+	for ifc, ds := range ent.downstream {
+		if !ifc.Up() || !e.HasNeighbors(ifc) {
+			continue
+		}
+		out := *sr
+		out.PruneIndicator = ds.pruned || ds.assertLoser
+		if ds.pruned && ds.pruneTimer != nil && ds.pruneTimer.Running() {
+			// Refresh the prune so it does not expire into a re-flood.
+			ds.pruneTimer.Reset(e.Config.PruneHoldtime)
+		}
+		e.sendPIM(ifc, ipv6.AllPIMRouters, &out)
+		e.Stats.StateRefreshSent++
+	}
+}
+
+// onStateRefresh handles a received refresh: accepted only on the RPF
+// interface toward the source, it re-arms the (S,G) expiry (state survives
+// without data) and propagates downstream with decremented TTL.
+func (e *Engine) onStateRefresh(ifc *netem.Interface, sr *StateRefresh) {
+	e.Stats.StateRefreshHeard++
+	if sr.TTL == 0 {
+		return
+	}
+	ent := e.getOrCreate(sr.Source, sr.Group)
+	if ent == nil || ifc != ent.upstream {
+		return
+	}
+	ent.expiry.Reset(e.Config.DataTimeout)
+	// P bit set means our upstream is NOT forwarding to us. If we still
+	// have downstream demand, the tree is wedged (e.g. our override Join
+	// was lost): re-join. This is the self-healing loop that makes prune
+	// state safe to keep alive indefinitely (RFC 3973 §4.5.1).
+	if sr.PruneIndicator && ent.hasDownstreamDemand() && !ent.prunedUpstream {
+		ent.sendOverrideJoin()
+	}
+	fwd := *sr
+	fwd.TTL--
+	if fwd.TTL > 0 {
+		ent.propagateStateRefresh(&fwd)
+	}
+}

@@ -1,0 +1,84 @@
+package pimdm_test
+
+import (
+	"testing"
+	"time"
+
+	"mip6mcast/internal/mld"
+	"mip6mcast/internal/pimdm"
+	"mip6mcast/internal/sim"
+)
+
+// TestStateRefreshSuppressesReflood is the ablation the extension exists
+// for: with short prune holdtimes, plain dense mode re-floods the pruned
+// branch every cycle; with State Refresh the prune state is kept alive by
+// control messages and the branch stays silent.
+func TestStateRefreshSuppressesReflood(t *testing.T) {
+	// Without State Refresh: initial flood + a re-flood every 20 s.
+	cfg := pimdm.DefaultConfig()
+	cfg.PruneHoldtime = 20 * time.Second
+	cfg.DataTimeout = 10 * time.Minute
+	f := newFig1(61, cfg, mld.FastConfig(30*time.Second))
+	f.addSender("s0", "L1", 100*time.Millisecond)
+	f.addReceiver("r3", "L4")
+	off := f.countData("L5")
+	f.s.RunUntil(sim.Time(5 * time.Minute))
+
+	// With State Refresh every 10 s (< prune holdtime).
+	cfg.StateRefreshInterval = 10 * time.Second
+	g := newFig1(61, cfg, mld.FastConfig(30*time.Second))
+	g.addSender("s0", "L1", 100*time.Millisecond)
+	g.addReceiver("r3", "L4")
+	on := g.countData("L5")
+	g.s.RunUntil(sim.Time(5 * time.Minute))
+
+	if *off < 4**on {
+		t.Fatalf("state refresh did not suppress re-floods: off=%d on=%d data frames on L5", *off, *on)
+	}
+	if g.engines["A"].Stats.StateRefreshSent == 0 {
+		t.Fatal("first-hop router A originated no state refreshes")
+	}
+	if g.engines["D"].Stats.StateRefreshHeard == 0 {
+		t.Fatal("D heard no state refreshes")
+	}
+	// State stays alive on every router despite the silence on pruned
+	// branches.
+	for _, name := range []string{"A", "B", "D", "E"} {
+		if g.engines[name].EntryCount() != 1 {
+			t.Errorf("%s entry count = %d with state refresh", name, g.engines[name].EntryCount())
+		}
+	}
+}
+
+// TestStateRefreshKeepsStateWithoutData: a briefly-pausing source does not
+// lose its tree while refreshes flow (origination continues as long as the
+// first-hop entry lives).
+func TestStateRefreshPropagatesExpiryReset(t *testing.T) {
+	cfg := pimdm.DefaultConfig()
+	cfg.StateRefreshInterval = 30 * time.Second
+	f := newFig1(62, cfg, mld.FastConfig(30*time.Second))
+	_, tick, _ := f.addSender("s0", "L1", 100*time.Millisecond)
+	f.addReceiver("r3", "L4")
+	f.s.RunUntil(sim.Time(20 * time.Second))
+
+	// Pause the source for 1.5× the data timeout: downstream state must
+	// survive via refreshes (the first-hop entry is fed by... nothing; so
+	// actually with a fully silent source even the refresh origination
+	// stops at A's own data timeout of 210 s — pause for less than that).
+	f.s.Schedule(0, func() { tick.Stop() })
+	f.s.RunFor(150 * time.Second) // > nothing? data timeout is 210 s
+	for _, name := range []string{"B", "D"} {
+		if f.engines[name].EntryCount() != 1 {
+			t.Fatalf("%s lost state during pause despite refreshes", name)
+		}
+	}
+	// After A's own timeout the whole tree decays — downstream routers one
+	// refresh-driven DataTimeout later (their expiry was last reset by the
+	// final refresh A originated just before its own entry died).
+	f.s.RunFor(2*cfg.DataTimeout + 2*cfg.StateRefreshInterval)
+	for _, name := range []string{"A", "B", "D"} {
+		if f.engines[name].EntryCount() != 0 {
+			t.Fatalf("%s state survived a fully silent source", name)
+		}
+	}
+}

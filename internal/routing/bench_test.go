@@ -1,0 +1,59 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/sim"
+)
+
+// buildChain constructs a chain of n routers for SPF benchmarks.
+func buildChain(n int) (*Domain, *netem.Network) {
+	s := sim.NewScheduler(1)
+	net := netem.New(s)
+	d := NewDomain(net)
+	links := make([]*netem.Link, n+1)
+	for i := range links {
+		links[i] = net.NewLink(fmt.Sprintf("K%d", i), 0, time.Millisecond)
+		d.AssignPrefix(links[i], ipv6.MustParseAddr(fmt.Sprintf("2001:db8:%d::", i+1)))
+	}
+	for i := 0; i < n; i++ {
+		r := net.NewNode(fmt.Sprintf("R%d", i), true)
+		a := r.AddInterface(links[i])
+		pa, _ := d.PrefixOf(links[i])
+		a.AddAddr(pa.WithInterfaceID(uint64(i)*2 + 1))
+		b := r.AddInterface(links[i+1])
+		pb, _ := d.PrefixOf(links[i+1])
+		b.AddAddr(pb.WithInterfaceID(uint64(i)*2 + 2))
+	}
+	return d, net
+}
+
+// BenchmarkRecompute64 measures a full SPF recomputation over a 64-router
+// chain (64 tables × 65 prefixes).
+func BenchmarkRecompute64(b *testing.B) {
+	d, _ := buildChain(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Recompute()
+	}
+}
+
+// BenchmarkNextHop measures a routed next-hop lookup.
+func BenchmarkNextHop(b *testing.B) {
+	d, net := buildChain(16)
+	d.Recompute()
+	t0 := d.TableOf(net.Nodes[0])
+	dst := ipv6.MustParseAddr("2001:db8:17::99")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := t0.NextHop(dst); !ok {
+			b.Fatal("unreachable")
+		}
+	}
+}

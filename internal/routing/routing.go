@@ -1,0 +1,242 @@
+// Package routing provides the unicast routing substrate: link-state
+// shortest-path-first tables for routers (the role an IGP plays under
+// PIM-DM, whose RPF checks are "protocol independent" — they use whatever
+// unicast routes exist), and dynamic default routes for hosts.
+//
+// A Domain assigns each link a /64 prefix and computes, for every router, a
+// next-hop entry per link prefix by breadth-first search over the
+// router/link bipartite graph (all links cost 1). Tables implement
+// netem.RouteTable.
+package routing
+
+import (
+	"fmt"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/netem"
+)
+
+// Domain is the routed internetwork: prefix assignments plus computed
+// tables.
+type Domain struct {
+	Net      *netem.Network
+	prefixes map[*netem.Link]ipv6.Addr // /64 prefix per link
+	tables   map[*netem.Node]*RouterTable
+}
+
+// NewDomain creates an empty routing domain over net.
+func NewDomain(net *netem.Network) *Domain {
+	return &Domain{
+		Net:      net,
+		prefixes: map[*netem.Link]ipv6.Addr{},
+		tables:   map[*netem.Node]*RouterTable{},
+	}
+}
+
+// AssignPrefix gives link a /64 prefix. Unicast routing resolves
+// destinations by longest (here: only) prefix match against these.
+func (d *Domain) AssignPrefix(l *netem.Link, prefix ipv6.Addr) {
+	d.prefixes[l] = prefix.Prefix(64)
+}
+
+// PrefixOf returns the /64 assigned to l.
+func (d *Domain) PrefixOf(l *netem.Link) (ipv6.Addr, bool) {
+	p, ok := d.prefixes[l]
+	return p, ok
+}
+
+// LinkFor returns the link whose prefix covers addr, or nil.
+func (d *Domain) LinkFor(addr ipv6.Addr) *netem.Link {
+	for l, p := range d.prefixes {
+		if addr.MatchesPrefix(p, 64) {
+			return l
+		}
+	}
+	return nil
+}
+
+// Recompute rebuilds all router tables from the current topology and
+// installs them on the router nodes. Hosts get dynamic tables (installed
+// once; they track movement automatically).
+func (d *Domain) Recompute() {
+	for _, n := range d.Net.Nodes {
+		if n.IsRouter {
+			t := d.computeRouter(n)
+			d.tables[n] = t
+			n.Routes = t
+		} else if n.Routes == nil {
+			n.Routes = &HostTable{Domain: d, Node: n}
+		}
+	}
+}
+
+// TableOf returns the computed table for a router.
+func (d *Domain) TableOf(n *netem.Node) *RouterTable { return d.tables[n] }
+
+// entry is a router's next hop toward one link prefix.
+type entry struct {
+	out  *netem.Interface
+	via  ipv6.Addr // zero for directly-attached (deliver to dst itself)
+	hops int       // router-to-link distance in links
+}
+
+// RouterTable is the SPF result for one router.
+type RouterTable struct {
+	node    *netem.Node
+	domain  *Domain
+	entries map[*netem.Link]entry
+}
+
+// computeRouter runs BFS from router r over the bipartite graph of routers
+// and links. Every traversed link costs 1. Host nodes are not transit.
+func (d *Domain) computeRouter(r *netem.Node) *RouterTable {
+	t := &RouterTable{node: r, domain: d, entries: map[*netem.Link]entry{}}
+
+	// Directly attached links.
+	type frontier struct {
+		router *netem.Node
+		first  *netem.Interface // r's interface starting this branch
+		via    ipv6.Addr        // first-hop neighbor address ("" = direct)
+		dist   int
+	}
+	visitedLink := map[*netem.Link]bool{}
+	visitedRouter := map[*netem.Node]bool{r: true}
+	var queue []frontier
+
+	for _, ifc := range r.Ifaces {
+		if !ifc.Up() {
+			continue
+		}
+		l := ifc.Link
+		if !visitedLink[l] {
+			visitedLink[l] = true
+			t.entries[l] = entry{out: ifc, hops: 1}
+		}
+		// Neighbor routers on the attached link seed the frontier.
+		for _, nifc := range l.Ifaces {
+			nb := nifc.Node
+			if nb == r || !nb.IsRouter || visitedRouter[nb] {
+				continue
+			}
+			visitedRouter[nb] = true
+			queue = append(queue, frontier{router: nb, first: ifc, via: nifc.LinkLocal(), dist: 1})
+		}
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, ifc := range cur.router.Ifaces {
+			if !ifc.Up() {
+				continue
+			}
+			l := ifc.Link
+			if !visitedLink[l] {
+				visitedLink[l] = true
+				t.entries[l] = entry{out: cur.first, via: cur.via, hops: cur.dist + 1}
+			}
+			for _, nifc := range l.Ifaces {
+				nb := nifc.Node
+				if !nb.IsRouter || visitedRouter[nb] {
+					continue
+				}
+				visitedRouter[nb] = true
+				queue = append(queue, frontier{router: nb, first: cur.first, via: cur.via, dist: cur.dist + 1})
+			}
+		}
+	}
+	return t
+}
+
+// NextHop implements netem.RouteTable.
+func (t *RouterTable) NextHop(dst ipv6.Addr) (*netem.Interface, ipv6.Addr, bool) {
+	l := t.domain.LinkFor(dst)
+	if l == nil {
+		return nil, ipv6.Addr{}, false
+	}
+	e, ok := t.entries[l]
+	if !ok {
+		return nil, ipv6.Addr{}, false
+	}
+	via := e.via
+	if via.IsUnspecified() {
+		via = dst // directly attached: deliver on-link
+	}
+	return e.out, via, true
+}
+
+// HopsTo returns the router's distance (in links) to the link covering dst,
+// used by PIM assert metrics. ok is false if unreachable.
+func (t *RouterTable) HopsTo(dst ipv6.Addr) (int, bool) {
+	l := t.domain.LinkFor(dst)
+	if l == nil {
+		return 0, false
+	}
+	e, ok := t.entries[l]
+	if !ok {
+		return 0, false
+	}
+	return e.hops, true
+}
+
+// RPFInterface returns the interface this router uses to reach src — PIM's
+// reverse-path-forwarding check — together with the upstream neighbor
+// address (zero if src is directly attached).
+func (t *RouterTable) RPFInterface(src ipv6.Addr) (*netem.Interface, ipv6.Addr, bool) {
+	l := t.domain.LinkFor(src)
+	if l == nil {
+		return nil, ipv6.Addr{}, false
+	}
+	e, ok := t.entries[l]
+	if !ok {
+		return nil, ipv6.Addr{}, false
+	}
+	return e.out, e.via, true
+}
+
+// HostTable routes for a (possibly mobile) host: destinations covered by
+// the prefix of the currently attached link are on-link; everything else
+// goes to a router on the current link (lowest link-local address wins, as
+// a stand-in for default-router selection). Because it evaluates against
+// the *current* attachment, it follows the host through moves with no
+// recomputation.
+type HostTable struct {
+	Domain *Domain
+	Node   *netem.Node
+}
+
+// NextHop implements netem.RouteTable.
+func (h *HostTable) NextHop(dst ipv6.Addr) (*netem.Interface, ipv6.Addr, bool) {
+	for _, ifc := range h.Node.Ifaces {
+		if !ifc.Up() || ifc.Link == nil {
+			continue
+		}
+		if p, ok := h.Domain.PrefixOf(ifc.Link); ok && dst.MatchesPrefix(p, 64) {
+			return ifc, dst, true
+		}
+	}
+	// Default route: first router found on an attached link, lowest
+	// link-local address for determinism.
+	for _, ifc := range h.Node.Ifaces {
+		if !ifc.Up() || ifc.Link == nil {
+			continue
+		}
+		var best ipv6.Addr
+		found := false
+		for _, nifc := range ifc.Link.Ifaces {
+			if nifc.Node.IsRouter && nifc.Up() {
+				if !found || nifc.LinkLocal().Less(best) {
+					best, found = nifc.LinkLocal(), true
+				}
+			}
+		}
+		if found {
+			return ifc, best, true
+		}
+	}
+	return nil, ipv6.Addr{}, false
+}
+
+func (t *RouterTable) String() string {
+	return fmt.Sprintf("table(%s, %d prefixes)", t.node.Name, len(t.entries))
+}

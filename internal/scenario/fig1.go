@@ -1,0 +1,303 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/metrics"
+	"mip6mcast/internal/mipv6"
+	"mip6mcast/internal/mld"
+	"mip6mcast/internal/ndp"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/pimdm"
+	"mip6mcast/internal/routing"
+	"mip6mcast/internal/sim"
+)
+
+// Group is the multicast group used throughout the experiments.
+var Group = ipv6.MustParseAddr("ff0e::101")
+
+// Options parameterizes a network build. The zero value is not useful; use
+// DefaultOptions.
+type Options struct {
+	Seed    int64
+	PIM     pimdm.Config
+	MLD     mld.Config
+	HostMLD mld.HostConfig
+	NDP     ndp.RouterConfig
+	HA      mipv6.HAConfig
+	// BindingLifetime requested by mobile nodes.
+	BindingLifetime time.Duration
+	// LinkBandwidth in bits/s (0: unconstrained) and one-way LinkDelay.
+	LinkBandwidth int64
+	LinkDelay     time.Duration
+	// LinkMTU bounds frame size (0: unlimited). Encapsulation adds 40
+	// bytes, so tunnels near the MTU trigger source fragmentation at the
+	// tunnel entry — the implementation issue the paper's conclusion
+	// flags for the uni-directional tunnels.
+	LinkMTU int
+}
+
+// DefaultOptions uses every protocol's draft/RFC default — the
+// configuration whose delays the paper criticizes.
+func DefaultOptions() Options {
+	return Options{
+		Seed:            1,
+		PIM:             pimdm.DefaultConfig(),
+		MLD:             mld.DefaultConfig(),
+		HostMLD:         mld.DefaultHostConfig(),
+		NDP:             ndp.DefaultRouterConfig(),
+		HA:              mipv6.DefaultHAConfig(),
+		BindingLifetime: 256 * time.Second,
+		LinkBandwidth:   10_000_000, // 10 Mbit/s shared links
+		LinkDelay:       time.Millisecond,
+		LinkMTU:         1500,
+	}
+}
+
+// Router bundles one router's protocol roles.
+type Router struct {
+	Node *netem.Node
+	PIM  *pimdm.Engine
+	MLD  *mld.Router
+	NDP  *ndp.Router
+	// HAs maps home-link name to the home agent instance this router runs
+	// for it (per the paper: A serves L1, B L2, C L3, D L4+L5, E L6).
+	HAs map[string]*mipv6.HomeAgent
+}
+
+// Host bundles one (potentially mobile) host's roles.
+type Host struct {
+	Name  string
+	Node  *netem.Node
+	Iface *netem.Interface
+	MN    *mipv6.MobileNode
+	MLD   *mld.Host
+	IID   uint64
+
+	lastOuterHops int
+}
+
+// OuterHops returns the router hop count of the most recent tunnel leg
+// delivering to this host (for path-stretch accounting).
+func (h *Host) OuterHops() int { return h.lastOuterHops }
+
+// Network is the assembled Figure 1 system.
+type Network struct {
+	Opt     Options
+	Sched   *sim.Scheduler
+	Net     *netem.Network
+	Dom     *routing.Domain
+	Links   map[string]*netem.Link
+	Routers map[string]*Router
+	Hosts   map[string]*Host
+	Acct    *metrics.Accountant
+}
+
+// figure1 wiring tables.
+var (
+	routerLinks = map[string][]string{
+		"A": {"L1", "L2"},
+		"B": {"L2", "L3"},
+		"C": {"L3"},
+		"D": {"L3", "L4", "L5"},
+		"E": {"L5", "L6"},
+	}
+	homeAgentFor = map[string]string{ // link -> router
+		"L1": "A", "L2": "B", "L3": "C", "L4": "D", "L5": "D", "L6": "E",
+	}
+	// The paper's hosts and their home links: Sender S and Receiver 1 on
+	// Link 1, Receiver 2 on Link 2, Receiver 3 on Link 4.
+	hostHomes = map[string]string{
+		"S": "L1", "R1": "L1", "R2": "L2", "R3": "L4",
+	}
+	hostIIDs = map[string]uint64{
+		"S": 0x5000, "R1": 0x1001, "R2": 0x1002, "R3": 0x1003,
+	}
+)
+
+// LinkNames lists the six links in order.
+func LinkNames() []string { return []string{"L1", "L2", "L3", "L4", "L5", "L6"} }
+
+// RouterNames lists the five routers in order.
+func RouterNames() []string { return []string{"A", "B", "C", "D", "E"} }
+
+// HostNames lists the paper's hosts.
+func HostNames() []string { return []string{"S", "R1", "R2", "R3"} }
+
+// Prefix returns the /64 assigned to the numbered link (1-based).
+func Prefix(link int) ipv6.Addr {
+	return ipv6.MustParseAddr(fmt.Sprintf("2001:db8:%d::", link))
+}
+
+// NewFigure1 builds the paper's network with the full protocol stack. All
+// hosts start on their home links; no multicast membership or workload is
+// attached yet.
+func NewFigure1(opt Options) *Network {
+	f := &Network{
+		Opt:     opt,
+		Sched:   sim.NewScheduler(opt.Seed),
+		Links:   map[string]*netem.Link{},
+		Routers: map[string]*Router{},
+		Hosts:   map[string]*Host{},
+	}
+	f.Net = netem.New(f.Sched)
+	f.Dom = routing.NewDomain(f.Net)
+	for i, name := range LinkNames() {
+		l := f.Net.NewLink(name, opt.LinkBandwidth, opt.LinkDelay)
+		l.MTU = opt.LinkMTU
+		f.Links[name] = l
+		f.Dom.AssignPrefix(l, Prefix(i+1))
+	}
+
+	for _, name := range RouterNames() {
+		node := f.Net.NewNode(name, true)
+		r := &Router{Node: node, HAs: map[string]*mipv6.HomeAgent{}}
+		f.Routers[name] = r
+		for _, ln := range routerLinks[name] {
+			ifc := node.AddInterface(f.Links[ln])
+			p, _ := f.Dom.PrefixOf(f.Links[ln])
+			// Router addresses: <prefix>::aX where X encodes the router.
+			ifc.AddAddr(p.WithInterfaceID(0xa0 + uint64(name[0]-'A'+1)))
+		}
+	}
+	f.Dom.Recompute()
+
+	for _, name := range RouterNames() {
+		r := f.Routers[name]
+		r.PIM = pimdm.New(r.Node, opt.PIM, f.Dom.TableOf(r.Node))
+		r.MLD = mld.NewRouter(r.Node, opt.MLD)
+		pim := r.PIM
+		r.MLD.OnListenerChange = func(ev mld.ListenerEvent) {
+			pim.HandleListenerChange(ev.Iface, ev.Group, ev.Present)
+		}
+		r.NDP = ndp.NewRouter(r.Node, opt.NDP, func(ifc *netem.Interface) (ipv6.Addr, bool) {
+			return f.Dom.PrefixOf(ifc.Link)
+		})
+		// Home agent role on designated links.
+		for _, ifc := range r.Node.Ifaces {
+			if homeAgentFor[ifc.Link.Name] != name {
+				continue
+			}
+			r.HAs[ifc.Link.Name] = mipv6.NewHomeAgent(r.Node, ifc, ifc.GlobalAddr(), opt.HA)
+		}
+	}
+
+	for _, name := range HostNames() {
+		f.AddHost(name, hostHomes[name], hostIIDs[name])
+	}
+	f.Acct = metrics.NewAccountant(f.Net)
+	return f
+}
+
+// AddHost creates an additional mobile-capable host with its home on the
+// given link.
+func (f *Network) AddHost(name, homeLink string, iid uint64) *Host {
+	node := f.Net.NewNode(name, false)
+	ifc := node.AddInterface(f.Links[homeLink])
+	haRouter := f.Routers[homeAgentFor[homeLink]]
+	var haAddr ipv6.Addr
+	for _, rifc := range haRouter.Node.Ifaces {
+		if rifc.Link == f.Links[homeLink] {
+			haAddr = rifc.GlobalAddr()
+		}
+	}
+	p, _ := f.Dom.PrefixOf(f.Links[homeLink])
+	cfg := mipv6.DefaultMNConfig(p, haAddr)
+	cfg.BindingLifetime = f.Opt.BindingLifetime
+	h := &Host{Name: name, Node: node, Iface: ifc, IID: iid}
+	h.MN = mipv6.NewMobileNode(node, iid, cfg)
+	h.MN.OnDecap = func(outer, inner *ipv6.Packet) {
+		h.lastOuterHops = int(ipv6.DefaultHopLimit - outer.Hdr.HopLimit)
+	}
+	h.MLD = mld.NewHost(node, f.Opt.HostMLD)
+	f.Hosts[name] = h
+	f.Dom.Recompute() // install the host's dynamic route table
+	return h
+}
+
+// HomeAgentOf returns the home agent serving the host's home link.
+func (f *Network) HomeAgentOf(host string) *mipv6.HomeAgent {
+	h := f.Hosts[host]
+	link := hostHomes[host]
+	if link == "" {
+		// Hosts added via AddHost: find by HA address.
+		for _, r := range f.Routers {
+			for ln, ha := range r.HAs {
+				if ha.Address == h.MN.Config.HomeAgent {
+					_ = ln
+					return ha
+				}
+			}
+		}
+		return nil
+	}
+	return f.Routers[homeAgentFor[link]].HAs[link]
+}
+
+// Move reattaches a host to another link (triggering NDP movement
+// detection, SLAAC and Mobile IPv6 registration).
+func (f *Network) Move(host, link string) {
+	h := f.Hosts[host]
+	f.Net.Move(h.Iface, f.Links[link])
+}
+
+// Run advances the simulation by d.
+func (f *Network) Run(d time.Duration) { f.Sched.RunFor(d) }
+
+// RunUntil advances the simulation to absolute time t.
+func (f *Network) RunUntil(t sim.Time) { f.Sched.RunUntil(t) }
+
+// Settle runs long enough for NDP/SLAAC, PIM hello exchange and initial MLD
+// queries to complete (10 s of virtual time).
+func (f *Network) Settle() { f.Run(10 * time.Second) }
+
+// SendLocalMulticast transmits one multicast datagram from the host on its
+// current link using its current source address — the paper's approach A
+// for mobile senders.
+func (f *Network) SendLocalMulticast(host string, group ipv6.Addr, payload []byte) {
+	h := f.Hosts[host]
+	src := h.MN.CareOf()
+	if src.IsUnspecified() {
+		src = h.MN.HomeAddress
+	}
+	u := &ipv6.UDP{SrcPort: WorkloadPort, DstPort: WorkloadPort, Payload: payload}
+	pkt := &ipv6.Packet{
+		Hdr:     ipv6.Header{Src: src, Dst: group, HopLimit: ipv6.DefaultHopLimit},
+		Proto:   ipv6.ProtoUDP,
+		Payload: u.Marshal(src, group),
+	}
+	_ = h.Node.OutputOn(h.Iface, pkt)
+}
+
+// TotalSGEntries sums live PIM (S,G) state across all routers — the
+// paper's router storage-load criterion.
+func (f *Network) TotalSGEntries() int {
+	n := 0
+	for _, r := range f.Routers {
+		n += r.PIM.EntryCount()
+	}
+	return n
+}
+
+// PIMStats aggregates the control-message counters of all routers.
+func (f *Network) PIMStats() pimdm.Stats {
+	var t pimdm.Stats
+	for _, name := range RouterNames() {
+		s := f.Routers[name].PIM.Stats
+		t.HellosSent += s.HellosSent
+		t.PrunesSent += s.PrunesSent
+		t.JoinsSent += s.JoinsSent
+		t.GraftsSent += s.GraftsSent
+		t.GraftAcksSent += s.GraftAcksSent
+		t.AssertsSent += s.AssertsSent
+		t.AssertsHeard += s.AssertsHeard
+		t.DataForwarded += s.DataForwarded
+		t.DataArrived += s.DataArrived
+		t.RPFFailures += s.RPFFailures
+		t.EntriesCreated += s.EntriesCreated
+		t.FloodsStarted += s.FloodsStarted
+	}
+	return t
+}

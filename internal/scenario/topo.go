@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/metrics"
+	"mip6mcast/internal/mipv6"
+	"mip6mcast/internal/mld"
+	"mip6mcast/internal/ndp"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/pimdm"
+	"mip6mcast/internal/routing"
+	"mip6mcast/internal/sim"
+)
+
+// Generated topologies for scaling studies beyond the paper's fixed
+// Figure 1 network: chains of routers (depth scaling: how distance from
+// the home link amplifies tunnel stretch and graft latency) and stars
+// (breadth scaling: how many leaf links a re-flood wastes bandwidth on).
+
+// Topo is a generated network with the full protocol stack, structured
+// like the Figure 1 Network but with programmatic shape.
+type Topo struct {
+	Opt     Options
+	Sched   *sim.Scheduler
+	Net     *netem.Network
+	Dom     *routing.Domain
+	Links   []*netem.Link // Links[i] has prefix 2001:db8:i+1::/64
+	Routers []*Router     // Routers[i]'s protocol bundle
+	HAs     map[*netem.Link]*mipv6.HomeAgent
+	Acct    *metrics.Accountant
+
+	hostSeq uint64
+}
+
+// NewLine builds a chain: Link0 [R0] Link1 [R1] ... [Rn-1] Linkn — n
+// routers, n+1 links. Every router runs PIM-DM, MLD and NDP; every link's
+// designated home agent is the lower-indexed attached router (the higher
+// for Link0's sole router).
+func NewLine(n int, opt Options) *Topo {
+	if n < 1 {
+		panic("scenario: NewLine needs at least one router")
+	}
+	t := newTopo(opt)
+	for i := 0; i <= n; i++ {
+		t.addLink(i)
+	}
+	for i := 0; i < n; i++ {
+		t.addRouter(fmt.Sprintf("R%d", i), t.Links[i], t.Links[i+1])
+	}
+	t.finish(func(l *netem.Link) *Router {
+		for i, link := range t.Links {
+			if link != l {
+				continue
+			}
+			if i == 0 {
+				return t.Routers[0]
+			}
+			return t.Routers[i-1]
+		}
+		return nil
+	})
+	return t
+}
+
+// NewStar builds a hub router connected to n leaf links plus one core link:
+// Core [Hub] Leaf1..Leafn. The hub is home agent for every link.
+func NewStar(n int, opt Options) *Topo {
+	t := newTopo(opt)
+	for i := 0; i <= n; i++ {
+		t.addLink(i)
+	}
+	t.addRouter("HUB", t.Links...)
+	t.finish(func(*netem.Link) *Router { return t.Routers[0] })
+	return t
+}
+
+func newTopo(opt Options) *Topo {
+	t := &Topo{
+		Opt:   opt,
+		Sched: sim.NewScheduler(opt.Seed),
+		HAs:   map[*netem.Link]*mipv6.HomeAgent{},
+	}
+	t.Net = netem.New(t.Sched)
+	t.Dom = routing.NewDomain(t.Net)
+	return t
+}
+
+func (t *Topo) addLink(i int) {
+	l := t.Net.NewLink(fmt.Sprintf("K%d", i), t.Opt.LinkBandwidth, t.Opt.LinkDelay)
+	l.MTU = t.Opt.LinkMTU
+	t.Dom.AssignPrefix(l, ipv6.MustParseAddr(fmt.Sprintf("2001:db8:%d::", i+1)))
+	t.Links = append(t.Links, l)
+}
+
+func (t *Topo) addRouter(name string, links ...*netem.Link) *Router {
+	node := t.Net.NewNode(name, true)
+	for _, l := range links {
+		ifc := node.AddInterface(l)
+		p, _ := t.Dom.PrefixOf(l)
+		ifc.AddAddr(p.WithInterfaceID(0xa0 + uint64(len(t.Routers)+1)))
+	}
+	r := &Router{Node: node, HAs: map[string]*mipv6.HomeAgent{}}
+	t.Routers = append(t.Routers, r)
+	return r
+}
+
+// finish computes routes, starts the protocol engines, and installs home
+// agents per the designation function.
+func (t *Topo) finish(haFor func(*netem.Link) *Router) {
+	t.Dom.Recompute()
+	for _, r := range t.Routers {
+		r.PIM = pimdm.New(r.Node, t.Opt.PIM, t.Dom.TableOf(r.Node))
+		r.MLD = mld.NewRouter(r.Node, t.Opt.MLD)
+		pim := r.PIM
+		r.MLD.OnListenerChange = func(ev mld.ListenerEvent) {
+			pim.HandleListenerChange(ev.Iface, ev.Group, ev.Present)
+		}
+		r.NDP = ndp.NewRouter(r.Node, t.Opt.NDP, func(ifc *netem.Interface) (ipv6.Addr, bool) {
+			return t.Dom.PrefixOf(ifc.Link)
+		})
+	}
+	for _, l := range t.Links {
+		r := haFor(l)
+		if r == nil {
+			continue
+		}
+		for _, ifc := range r.Node.Ifaces {
+			if ifc.Link == l {
+				ha := mipv6.NewHomeAgent(r.Node, ifc, ifc.GlobalAddr(), t.Opt.HA)
+				t.HAs[l] = ha
+				r.HAs[l.Name] = ha
+			}
+		}
+	}
+	t.Acct = metrics.NewAccountant(t.Net)
+}
+
+// AddHost creates a mobile-capable host homed on Links[homeIdx].
+func (t *Topo) AddHost(name string, homeIdx int) *Host {
+	t.hostSeq++
+	link := t.Links[homeIdx]
+	node := t.Net.NewNode(name, false)
+	ifc := node.AddInterface(link)
+	p, _ := t.Dom.PrefixOf(link)
+	cfg := mipv6.DefaultMNConfig(p, t.HAs[link].Address)
+	cfg.BindingLifetime = t.Opt.BindingLifetime
+	h := &Host{Name: name, Node: node, Iface: ifc, IID: 0x9000 + t.hostSeq}
+	h.MN = mipv6.NewMobileNode(node, h.IID, cfg)
+	h.MN.OnDecap = func(outer, inner *ipv6.Packet) {
+		h.lastOuterHops = int(ipv6.DefaultHopLimit - outer.Hdr.HopLimit)
+	}
+	h.MLD = mld.NewHost(node, t.Opt.HostMLD)
+	t.Dom.Recompute()
+	return h
+}
+
+// Run advances virtual time by d.
+func (t *Topo) Run(d time.Duration) { t.Sched.RunFor(d) }
+
+// Move reattaches a host interface to Links[idx].
+func (t *Topo) Move(h *Host, idx int) { t.Net.Move(h.Iface, t.Links[idx]) }

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/netem"
+)
+
+func streamFrom(t *Topo, h *Host, interval time.Duration) *CBR {
+	return NewCBR(t.Sched, 1, interval, 64, func(p []byte) {
+		src := h.MN.CareOf()
+		if src.IsUnspecified() {
+			src = h.MN.HomeAddress
+		}
+		u := &ipv6.UDP{SrcPort: WorkloadPort, DstPort: WorkloadPort, Payload: p}
+		pkt := &ipv6.Packet{
+			Hdr:     ipv6.Header{Src: src, Dst: Group, HopLimit: ipv6.DefaultHopLimit},
+			Proto:   ipv6.ProtoUDP,
+			Payload: u.Marshal(src, Group),
+		}
+		_ = h.Node.OutputOn(h.Iface, pkt)
+	})
+}
+
+func TestLineTopologyEndToEnd(t *testing.T) {
+	opt := DefaultOptions()
+	topo := NewLine(6, opt) // 6 routers, 7 links
+	if len(topo.Routers) != 6 || len(topo.Links) != 7 {
+		t.Fatalf("routers=%d links=%d", len(topo.Routers), len(topo.Links))
+	}
+	src := topo.AddHost("src", 0)
+	dst := topo.AddHost("dst", 6)
+	dst.MLD.Join(dst.Iface, Group)
+
+	got := 0
+	var hops int
+	dst.Node.BindUDP(WorkloadPort, func(rx netem.RxPacket, u *ipv6.UDP) {
+		got++
+		hops = int(ipv6.DefaultHopLimit - rx.Pkt.Hdr.HopLimit)
+	})
+	streamFrom(topo, src, 100*time.Millisecond)
+	topo.Run(30 * time.Second)
+	if got < 250 {
+		t.Fatalf("delivered %d across 6-router chain", got)
+	}
+	if hops != 6 {
+		t.Fatalf("hops = %d, want 6 (every router decrements)", hops)
+	}
+}
+
+func TestLinePruningAtDepth(t *testing.T) {
+	opt := DefaultOptions()
+	topo := NewLine(4, opt)
+	src := topo.AddHost("src", 0)
+	mid := topo.AddHost("mid", 2)
+	mid.MLD.Join(mid.Iface, Group)
+	streamFrom(topo, src, 100*time.Millisecond)
+
+	// Tail links beyond the member must be pruned after the flood.
+	tail := 0
+	topo.Links[4].AddTap(func(ev netem.TxEvent) {
+		if ev.Pkt.Proto == ipv6.ProtoUDP && ev.Pkt.Hdr.Dst == Group {
+			tail++
+		}
+	})
+	topo.Run(60 * time.Second)
+	if tail > 50 {
+		t.Fatalf("tail link carried %d data frames; prune failed at depth", tail)
+	}
+	got := 0
+	mid.Node.BindUDP(WorkloadPort, func(netem.RxPacket, *ipv6.UDP) { got++ })
+	topo.Run(10 * time.Second)
+	if got < 80 {
+		t.Fatalf("mid host got %d", got)
+	}
+}
+
+func TestLineMobileRegistersAcrossChain(t *testing.T) {
+	opt := DefaultOptions()
+	topo := NewLine(5, opt)
+	m := topo.AddHost("m", 0)
+	topo.Run(5 * time.Second)
+	topo.Move(m, 5) // five routers away from home
+	topo.Run(20 * time.Second)
+	if !m.MN.Registered() {
+		t.Fatal("registration across the chain failed")
+	}
+	if _, ok := topo.HAs[topo.Links[0]].BindingFor(m.MN.HomeAddress); !ok {
+		t.Fatal("no binding at the home agent")
+	}
+}
+
+func TestStarTopologyFloodBreadth(t *testing.T) {
+	opt := DefaultOptions()
+	topo := NewStar(8, opt) // hub + core link + 8 leaves
+	src := topo.AddHost("src", 0)
+	// One member on leaf 1; leaves 2..8 memberless.
+	m := topo.AddHost("m", 1)
+	m.MLD.Join(m.Iface, Group)
+
+	leafFrames := make([]int, 9)
+	for i := 1; i <= 8; i++ {
+		i := i
+		topo.Links[i].AddTap(func(ev netem.TxEvent) {
+			if ev.Pkt.Proto == ipv6.ProtoUDP && ev.Pkt.Hdr.Dst == Group {
+				leafFrames[i]++
+			}
+		})
+	}
+	streamFrom(topo, src, 100*time.Millisecond)
+	topo.Run(60 * time.Second)
+
+	if leafFrames[1] < 500 {
+		t.Fatalf("member leaf got %d frames", leafFrames[1])
+	}
+	for i := 2; i <= 8; i++ {
+		if leafFrames[i] != 0 {
+			t.Errorf("memberless leaf %d carried %d frames (hub has no PIM neighbors there; no flood expected)", i, leafFrames[i])
+		}
+	}
+}
+
+func TestStarHomeAgentOnHub(t *testing.T) {
+	opt := DefaultOptions()
+	topo := NewStar(3, opt)
+	m := topo.AddHost("m", 1)
+	topo.Run(5 * time.Second)
+	topo.Move(m, 2)
+	topo.Run(15 * time.Second)
+	if !m.MN.Registered() {
+		t.Fatal("registration via hub failed")
+	}
+	b, ok := topo.HAs[topo.Links[1]].BindingFor(m.MN.HomeAddress)
+	if !ok {
+		t.Fatal("hub has no binding")
+	}
+	p, _ := topo.Dom.PrefixOf(topo.Links[2])
+	if !b.CareOf.MatchesPrefix(p, 64) {
+		t.Fatalf("care-of %s not from leaf 2", b.CareOf)
+	}
+}
+
+// Depth scaling: the tunnel detour grows linearly with the distance
+// between home link and foreign link — quantifying the paper's
+// "suboptimal routing" criterion as a function of topology depth.
+func TestTunnelStretchGrowsWithDepth(t *testing.T) {
+	measure := func(depth int) int {
+		opt := DefaultOptions()
+		topo := NewLine(depth, opt)
+		m := topo.AddHost("m", 0) // home at one end
+		topo.Run(5 * time.Second)
+		topo.Move(m, depth) // foreign link at the other end
+		topo.Run(20 * time.Second)
+
+		// The HA tunnels a unicast packet to the MN; outer hop count is
+		// the detour length.
+		src := topo.AddHost("peer", 0)
+		got := make(chan int, 1)
+		var outerHops int
+		m.MN.OnDecap = func(outer, inner *ipv6.Packet) {
+			outerHops = int(ipv6.DefaultHopLimit - outer.Hdr.HopLimit)
+		}
+		m.Node.BindUDP(7, func(rx netem.RxPacket, u *ipv6.UDP) {
+			select {
+			case got <- outerHops:
+			default:
+			}
+		})
+		u := &ipv6.UDP{SrcPort: 7, DstPort: 7, Payload: []byte("x")}
+		pkt := &ipv6.Packet{
+			Hdr:     ipv6.Header{Src: src.MN.HomeAddress, Dst: m.MN.HomeAddress, HopLimit: 64},
+			Proto:   ipv6.ProtoUDP,
+			Payload: u.Marshal(src.MN.HomeAddress, m.MN.HomeAddress),
+		}
+		_ = src.Node.Output(pkt)
+		topo.Run(5 * time.Second)
+		select {
+		case h := <-got:
+			return h
+		default:
+			t.Fatalf("depth %d: tunneled packet not delivered", depth)
+			return 0
+		}
+	}
+	// The encapsulating home agent originates the outer packet (no
+	// decrement for itself): outer hops = depth - 1, linear in depth.
+	h2, h5 := measure(2), measure(5)
+	if h2 != 1 || h5 != 4 {
+		t.Fatalf("tunnel outer hops = %d,%d for depths 2,5; want 1,4", h2, h5)
+	}
+}

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func expectPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestConstructorPanics(t *testing.T) {
+	s := NewScheduler(1)
+	expectPanic(t, "At(nil)", func() { s.At(0, nil) })
+	expectPanic(t, "NewTimer(nil)", func() { NewTimer(s, nil) })
+	expectPanic(t, "NewTicker(0)", func() { NewTicker(s, 0, 0, func() {}) })
+	expectPanic(t, "NewTicker(-1)", func() { NewTicker(s, -time.Second, 0, func() {}) })
+	tk := NewTicker(s, time.Second, 0, func() {})
+	expectPanic(t, "SetPeriod(0)", func() { tk.SetPeriod(0) })
+	tk.Stop()
+}
+
+func TestEventWhenAndTickerLifecycle(t *testing.T) {
+	s := NewScheduler(1)
+	ev := s.Schedule(3*time.Second, func() {})
+	if ev.When() != Time(3*time.Second) {
+		t.Errorf("When() = %v", ev.When())
+	}
+	tk := NewTicker(s, time.Second, 0, func() {})
+	if !tk.Running() {
+		t.Error("fresh ticker not running")
+	}
+	tk.Stop()
+	if tk.Running() {
+		t.Error("stopped ticker running")
+	}
+	tk.Stop() // idempotent
+	s.Run()
+}

@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunParallel executes n independent replicate bodies across at most workers
+// goroutines and returns when all have finished. Each body receives its
+// replicate index and must build its own Scheduler (replicas share nothing).
+// workers <= 0 selects GOMAXPROCS. The zero-allocation sequential case
+// (workers == 1) runs inline.
+//
+// This is the only concurrency primitive in the kernel: a single virtual
+// timeline is always single-threaded; throughput comes from running many
+// timelines (parameter sweeps, seed replications) at once.
+func RunParallel(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

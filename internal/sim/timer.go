@@ -1,0 +1,151 @@
+package sim
+
+import "time"
+
+// Timer is a restartable virtual-time timer with the Reset/Stop semantics of
+// time.Timer, built on Scheduler events. Protocol state machines (MLD group
+// membership timers, PIM (S,G) expiry, prune delays, binding lifetimes) are
+// expressed with Timers.
+//
+// The zero value is not usable; create one with NewTimer or the Scheduler's
+// AfterFunc-style helpers.
+type Timer struct {
+	s  *Scheduler
+	fn func()
+	ev *Event
+}
+
+// NewTimer returns a stopped timer that will run fn on the scheduler when it
+// expires.
+func NewTimer(s *Scheduler, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: NewTimer with nil func")
+	}
+	return &Timer{s: s, fn: fn}
+}
+
+// AfterFunc creates a timer and starts it with duration d.
+func AfterFunc(s *Scheduler, d time.Duration, fn func()) *Timer {
+	t := NewTimer(s, fn)
+	t.Reset(d)
+	return t
+}
+
+// Reset (re)arms the timer to fire after d. Any previously pending expiry is
+// canceled first, so a Timer fires at most once per Reset.
+func (t *Timer) Reset(d time.Duration) {
+	t.Stop()
+	t.ev = t.s.Schedule(d, t.fire)
+}
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.ev = t.s.At(at, t.fire)
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Stop disarms the timer. It reports whether the timer was running.
+func (t *Timer) Stop() bool {
+	if t.ev == nil {
+		return false
+	}
+	was := t.ev.Cancel()
+	t.ev = nil
+	return was
+}
+
+// Running reports whether the timer is armed.
+func (t *Timer) Running() bool { return t.ev != nil && t.ev.Pending() }
+
+// Expiry returns the virtual time at which the timer will fire. It is only
+// meaningful while Running.
+func (t *Timer) Expiry() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.When()
+}
+
+// Remaining returns how much virtual time is left before expiry, or zero if
+// the timer is not running.
+func (t *Timer) Remaining() time.Duration {
+	if !t.Running() {
+		return 0
+	}
+	return t.ev.When().Sub(t.s.Now())
+}
+
+// Ticker repeatedly invokes a callback at a fixed virtual-time period, with
+// optional uniform jitter. Periodic protocol chores (MLD Queries, PIM Hellos,
+// Binding Update refreshes, CBR traffic sources) are expressed with Tickers.
+type Ticker struct {
+	s      *Scheduler
+	period time.Duration
+	jitter time.Duration
+	fn     func()
+	ev     *Event
+}
+
+// NewTicker returns a started ticker firing every period. If jitter > 0 each
+// interval is lengthened by a uniform random amount in [0, jitter) drawn from
+// the scheduler's deterministic source. The first firing happens after one
+// (jittered) period; call FireNow for an immediate first tick.
+func NewTicker(s *Scheduler, period time.Duration, jitter time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	t := &Ticker{s: s, period: period, jitter: jitter, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	d := t.period
+	if t.jitter > 0 {
+		d += time.Duration(t.s.Rand().Int63n(int64(t.jitter)))
+	}
+	t.ev = t.s.Schedule(d, t.tick)
+}
+
+func (t *Ticker) tick() {
+	t.ev = nil
+	t.fn()
+	// fn may have stopped the ticker; only rearm if still live.
+	if t.period > 0 {
+		t.arm()
+	}
+}
+
+// FireNow runs the callback immediately (at the current instant) without
+// disturbing the periodic schedule.
+func (t *Ticker) FireNow() { t.fn() }
+
+// SetPeriod changes the period for subsequent ticks. The currently pending
+// tick is rescheduled relative to now.
+func (t *Ticker) SetPeriod(period time.Duration) {
+	if period <= 0 {
+		panic("sim: SetPeriod with non-positive period")
+	}
+	t.period = period
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.arm()
+	}
+}
+
+// Stop halts the ticker. The callback will not run again.
+func (t *Ticker) Stop() {
+	t.period = 0
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Running reports whether the ticker is still active.
+func (t *Ticker) Running() bool { return t.period > 0 }

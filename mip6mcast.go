@@ -1,0 +1,97 @@
+// Package mip6mcast reproduces "Interoperation of Mobile IPv6 and Protocol
+// Independent Multicast Dense Mode" (Bettstetter, Riedl, Geßler; ICPP
+// 2000) as a runnable system: a deterministic discrete-event IPv6 network
+// with full PIM-DM, MLD, NDP and Mobile IPv6 implementations, the paper's
+// four approaches for multicast to/from mobile hosts, and experiment
+// runners that quantify every comparison the paper makes qualitatively.
+//
+// The typical entry points are the Run* experiment functions (one per paper
+// table/figure/section — see EXPERIMENTS.md) and, underneath them, the
+// building blocks re-exported from the internal packages:
+//
+//	opt := mip6mcast.DefaultOptions()
+//	res := mip6mcast.RunMobileReceiverLocal(opt, true)
+//	fmt.Println(res.JoinDelay, res.LeaveDelay)
+package mip6mcast
+
+import (
+	"mip6mcast/internal/core"
+	"mip6mcast/internal/metrics"
+	"mip6mcast/internal/mld"
+	"mip6mcast/internal/pimdm"
+	"mip6mcast/internal/scenario"
+)
+
+// Re-exported types: the approach model (the paper's Table 1)...
+type (
+	// Approach is one of the paper's four ways to combine send/receive
+	// modes.
+	Approach = core.Approach
+	// SendMode selects local sending vs the reverse tunnel.
+	SendMode = core.SendMode
+	// ReceiveMode selects local membership vs home-agent tunneling.
+	ReceiveMode = core.ReceiveMode
+	// HAVariant selects how membership reaches the home agent.
+	HAVariant = core.HAVariant
+)
+
+// ...and the scenario/options surface.
+type (
+	// Options parameterizes a network build (timers, bandwidths, seed).
+	Options = scenario.Options
+	// Network is the assembled Figure 1 system.
+	Network = scenario.Network
+)
+
+// The four approaches (paper §4.2.3).
+var (
+	LocalMembership     = core.LocalMembership
+	BidirectionalTunnel = core.BidirectionalTunnel
+	UniTunnelMNToHA     = core.UniTunnelMNToHA
+	UniTunnelHAToMN     = core.UniTunnelHAToMN
+)
+
+// Mode constants.
+const (
+	SendLocal          = core.SendLocal
+	SendHomeTunnel     = core.SendHomeTunnel
+	ReceiveLocal       = core.ReceiveLocal
+	ReceiveHomeTunnel  = core.ReceiveHomeTunnel
+	VariantGroupListBU = core.VariantGroupListBU
+	VariantTunneledMLD = core.VariantTunneledMLD
+)
+
+// FourApproaches returns the paper's Table 1 in order.
+func FourApproaches() []Approach { return core.FourApproaches() }
+
+// Group is the multicast group the experiments and examples stream to.
+var Group = scenario.Group
+
+// DefaultOptions returns the RFC/draft default timer set on the Figure 1
+// network.
+func DefaultOptions() Options { return scenario.DefaultOptions() }
+
+// FastMLDOptions returns DefaultOptions with the paper's §4.4 tuning
+// applied: a reduced MLD Query Interval.
+func FastMLDOptions(queryIntervalSeconds int) Options {
+	opt := scenario.DefaultOptions()
+	opt.MLD = mld.FastConfig(secs(queryIntervalSeconds))
+	opt.HostMLD.Config = opt.MLD
+	return opt
+}
+
+// DefaultPIMConfig exposes the PIM-DM defaults (210 s data timeout, 3 s
+// prune delay) for ablation studies.
+func DefaultPIMConfig() pimdm.Config { return pimdm.DefaultConfig() }
+
+// DefaultMLDConfig exposes the MLD defaults (125 s query interval, 260 s
+// listener interval).
+func DefaultMLDConfig() mld.Config { return mld.DefaultConfig() }
+
+// Table renders experiment rows as an aligned text table.
+func Table(title string, columns []string, rows []metrics.Row) string {
+	return metrics.Table(title, columns, rows)
+}
+
+// Row is one labeled result row.
+type Row = metrics.Row
