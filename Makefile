@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: all build vet test race check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race run exercises the sweep engine's parallel fan-out: the root
+# package's determinism tests run every registered experiment with
+# workers=8, and internal/exp's tests drive Sweep directly.
+race:
+	$(GO) test -race ./...
+
+check: build vet race

@@ -1,13 +1,15 @@
 // Command mip6sim runs the paper's experiments and prints their tables.
+// Experiments come from the mip6mcast registry; -list shows every id with
+// its parameter schema.
 //
 // Usage:
 //
+//	mip6sim -list                      # registered experiments + params
 //	mip6sim -experiment all            # every experiment, in order
 //	mip6sim -experiment t1             # the four-approach comparison
-//	mip6sim -experiment s44 -unsolicited=false
+//	mip6sim -experiment s44 -unsolicited=false -replicates 5
 //	mip6sim -experiment f2 -tquery 30
-//
-// Experiments (see DESIGN.md §4): f1 f2 f3 f4 t1 s44 s431 s432.
+//	mip6sim -experiment all -json out/ # also write out/<id>.json results
 package main
 
 import (
@@ -15,161 +17,107 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"mip6mcast"
-	"mip6mcast/internal/metrics"
+	"mip6mcast/internal/exp"
 )
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment id: f1 f2 f3 f4 t1 s44 s431 s432 smg sld smtu or all")
+		experiment  = flag.String("experiment", "all", "experiment id(s), comma-separated, or all (see -list)")
+		list        = flag.Bool("list", false, "list registered experiments and their parameters")
+		jsonDir     = flag.String("json", "", "also write machine-readable results to <dir>/<experiment>.json")
+		workers     = flag.Int("workers", 0, "parallel timeline workers (0 = GOMAXPROCS)")
+		replicates  = flag.Int("replicates", 3, "replicate runs for sweep experiments")
+		seed        = flag.Int64("seed", 1, "simulation master seed")
 		tquery      = flag.Int("tquery", 0, "MLD query interval in seconds (0 = RFC default 125)")
 		unsolicited = flag.Bool("unsolicited", true, "mobile receivers send unsolicited MLD reports after moving")
-		seed        = flag.Int64("seed", 1, "simulation seed")
-		replicates  = flag.Int("replicates", 3, "replicate runs for sweeps")
 	)
 	flag.Parse()
+
+	if *list {
+		listExperiments()
+		return
+	}
 
 	opt := mip6mcast.DefaultOptions()
 	if *tquery > 0 {
 		opt = mip6mcast.FastMLDOptions(*tquery)
 	}
 	opt.Seed = *seed
+	ctx := mip6mcast.ExpContext{Opt: opt, Replicates: *replicates, Workers: *workers}
 
 	ids := strings.Split(*experiment, ",")
 	if *experiment == "all" {
-		ids = []string{"f1", "f2", "f3", "f4", "t1", "s44", "s431", "s432", "smg", "sld", "smtu"}
+		ids = mip6mcast.Experiments()
 	}
 	for _, id := range ids {
-		switch id {
-		case "f1":
-			runF1(opt)
-		case "f2":
-			runF2(opt, *unsolicited)
-		case "f3":
-			runF3(opt)
-		case "f4":
-			runF4(opt)
-		case "t1":
-			fmt.Print(mip6mcast.T1Table(mip6mcast.RunT1(opt)))
-		case "s44":
-			points := mip6mcast.RunS44([]int{5, 10, 20, 30, 60, 125}, *unsolicited, *replicates)
-			fmt.Print(mip6mcast.S44Table(points))
-		case "s431":
-			runS431(opt)
-		case "s432":
-			runS432(opt)
-		case "smg":
-			smgOpt := opt
-			if *tquery == 0 {
-				smgOpt = mip6mcast.FastMLDOptions(30)
-			}
-			points := mip6mcast.RunSMG(smgOpt, []int{1, 4, 15, 16, 40})
-			fmt.Print(mip6mcast.SMGTable(points))
-		case "sld":
-			sldOpt := opt
-			if *tquery == 0 {
-				sldOpt = mip6mcast.FastMLDOptions(30)
-			}
-			points := mip6mcast.RunSLD(sldOpt, []int{1, 2, 4, 8})
-			fmt.Print(mip6mcast.SLDTable(points))
-		case "smtu":
-			mtuOpt := opt
-			if *tquery == 0 {
-				mtuOpt = mip6mcast.FastMLDOptions(30)
-			}
-			points := mip6mcast.RunSMTU(mtuOpt, []int{1200, 1400, 1412, 1413, 1432}, 0)
-			fmt.Print(mip6mcast.SMTUTable(points, 0))
-			points = mip6mcast.RunSMTU(mtuOpt, []int{1400, 1432}, 0.05)
-			fmt.Print(mip6mcast.SMTUTable(points, 0.05))
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+		e, ok := mip6mcast.GetExperiment(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s)\n",
+				id, strings.Join(mip6mcast.Experiments(), " "))
 			os.Exit(2)
 		}
-		fmt.Println()
-	}
-}
 
-func runF1(opt mip6mcast.Options) {
-	res := mip6mcast.RunF1(opt)
-	fmt.Println("== F1: initial distribution tree (paper Figure 1) ==")
-	fmt.Printf("  sent=%d delivered=%v\n", res.Sent, res.Delivered)
-	for _, l := range []string{"L1", "L2", "L3", "L4", "L5", "L6"} {
-		fmt.Printf("  %s data bytes: %d\n", l, res.DataBytesPerLink[l])
-	}
-	fmt.Printf("  flood frames on pruned L5: %d, L6: %d\n", res.FloodFramesL5, res.FramesL6)
-	for _, e := range res.TreeAtD {
-		fmt.Printf("  D state: src=%s grp=%s upstream=%s fwd=%v pruned=%v\n",
-			e.Source, e.Group, e.Upstream, e.ForwardingOn, e.PrunedOn)
-	}
-}
-
-func runF2(opt mip6mcast.Options, unsolicited bool) {
-	fmt.Println("== F2: mobile receiver, local membership (paper Figure 2) ==")
-	for _, u := range []bool{unsolicited, !unsolicited} {
-		res := mip6mcast.RunF2(opt, u)
-		fmt.Printf("  unsolicited=%-5v join=%-10s leave=%-10s wasted=%dB delivered-after=%d\n",
-			u, res.JoinDelay, res.LeaveDelay, res.WastedBytes, res.DeliveredAfterMove)
-	}
-}
-
-func runF3(opt mip6mcast.Options) {
-	fmt.Println("== F3: mobile receiver via home-agent tunnel (paper Figure 3) ==")
-	for variant, name := range map[mip6mcast.HAVariant]string{
-		mip6mcast.VariantGroupListBU: "group-list-BU",
-		mip6mcast.VariantTunneledMLD: "tunneled-MLD",
-	} {
-		res := mip6mcast.RunF3(opt, variant)
-		fmt.Printf("  %-14s join=%-10s tunnel-ovh=%dB hops=%.1f (optimal %d) tunneled=%d\n",
-			name, res.JoinDelay, res.TunnelOverheadBytes, res.MeanHops, res.OptimalHops, res.HATunneled)
-	}
-}
-
-func runF4(opt mip6mcast.Options) {
-	fmt.Println("== F4: mobile sender (paper Figure 4 vs local sending) ==")
-	for _, tun := range []bool{true, false} {
-		res := mip6mcast.RunF4(opt, tun)
-		mode := "reverse-tunnel"
-		if !tun {
-			mode = "local-send"
+		// Per-experiment parameter overrides from the shared flags. The
+		// -tquery flag doubles as the sweep list for s44 (whose tquery
+		// parameter is the swept variable).
+		p := mip6mcast.ExpParams{}
+		if *tquery > 0 {
+			if k, ok := paramKind(e, "tquery"); ok {
+				if k == exp.IntList {
+					p["tquery"] = []int{*tquery}
+				} else {
+					p["tquery"] = *tquery
+				}
+			}
 		}
-		fmt.Printf("  %-14s newtrees=%d peakSG=%d asserts=%d tun=%dB gap=%s delivered=%v\n",
-			mode, res.NewTreesBuilt, res.PeakSGEntries, res.AssertsSent,
-			res.TunnelOverheadBytes, res.MaxGapAfterMove, res.DeliveredAfterMove)
+		if e.HasParam("unsolicited") {
+			p["unsolicited"] = *unsolicited
+		}
+
+		res, err := mip6mcast.RunExperiment(id, ctx, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(res.Render())
+		fmt.Println()
+
+		if *jsonDir != "" {
+			resolved, err := e.ResolveParams(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			path, err := exp.WriteJSON(*jsonDir, exp.ResultJSON(id, ctx, resolved, res))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 	}
 }
 
-func runS431(opt mip6mcast.Options) {
-	fmt.Println("== S431: mobile-sender flood/assert overhead (paper §4.3.1) ==")
-	rows := []metrics.Row{}
-	for _, moves := range []int{1, 2, 4, 8} {
-		res := mip6mcast.RunS431(opt, moves, 45*time.Second)
-		rows = append(rows, metrics.Row{
-			Label: fmt.Sprintf("moves=%d", moves),
-			Values: map[string]float64{
-				"reflood(kB)": float64(res.RefloodBytes) / 1000,
-				"asserts":     float64(res.Asserts),
-				"peakSG":      float64(res.PeakSG),
-				"newtrees":    float64(res.NewTrees),
-			},
-		})
+func paramKind(e *mip6mcast.Experiment, name string) (exp.Kind, bool) {
+	for _, sp := range e.Params {
+		if sp.Name == name {
+			return sp.Kind, true
+		}
 	}
-	fmt.Print(metrics.Table("sender mobility cost", []string{"reflood(kB)", "asserts", "peakSG", "newtrees"}, rows))
+	return 0, false
 }
 
-func runS432(opt mip6mcast.Options) {
-	fmt.Println("== S432: tunnel convergence on a shared foreign link (paper §4.3.2) ==")
-	points := mip6mcast.RunS432(opt, []int{1, 2, 4, 8})
-	rows := []metrics.Row{}
-	for _, p := range points {
-		rows = append(rows, metrics.Row{
-			Label: fmt.Sprintf("N=%d", p.N),
-			Values: map[string]float64{
-				"local(B/dgram)":  p.LocalBytesPerDgram,
-				"tunnel(B/dgram)": p.TunnelBytesPerDgram,
-			},
-		})
+func listExperiments() {
+	for _, e := range exp.All() {
+		kind := ""
+		if e.Sweep {
+			kind = "  [sweep]"
+		}
+		fmt.Printf("%-5s %s%s\n", e.Name, e.Desc, kind)
+		for _, sp := range e.Params {
+			fmt.Printf("        -%s %s (default %v): %s\n", sp.Name, sp.Kind, sp.Default, sp.Desc)
+		}
 	}
-	fmt.Print(metrics.Table("foreign-link bytes per datagram", []string{"local(B/dgram)", "tunnel(B/dgram)"}, rows))
 }

@@ -22,9 +22,10 @@ import (
 )
 
 func main() {
-	opt := scenario.DefaultOptions()
-	opt.MLD = mld.FastConfig(30 * time.Second)
-	opt.HostMLD = mld.HostConfig{Config: opt.MLD}
+	opt := scenario.DefaultOptions().WithMLD(mld.FastConfig(30 * time.Second))
+	// The stationary hosts in this scenario don't need unsolicited
+	// re-reports; the roaming receiver's membership travels via its HA.
+	opt.HostMLD.ResendOnMove = false
 	f := scenario.NewFigure1(opt)
 
 	// Two dedicated HA boxes on Link 4 (R3's home link) behind one service

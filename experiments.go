@@ -3,6 +3,7 @@ package mip6mcast
 import (
 	"time"
 
+	"mip6mcast/internal/exp"
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/pimdm"
 	"mip6mcast/internal/scenario"
@@ -37,7 +38,13 @@ type F1Result struct {
 
 // RunF1 reproduces Figure 1: all hosts at home, S streaming to the group;
 // PIM-DM floods, prunes Links 5/6, and settles on the L1–L4 tree.
+//
+// Compatibility shim over the "f1" registry entry (see internal/exp).
 func RunF1(opt Options) F1Result {
+	return mustRunExp("f1", exp.Context{Opt: opt}, nil).Artifact.(F1Result)
+}
+
+func measureF1(opt Options) F1Result {
 	r := NewRun(opt, LocalMembership, 100*time.Millisecond, 64)
 	l5 := r.WatchLink("L5")
 	l6 := r.WatchLink("L6")
@@ -83,7 +90,18 @@ type F2Result struct {
 // Link 6 under the local-membership approach. unsolicitedReports selects
 // the paper's recommended optimization; with it off the receiver waits for
 // the next MLD Query.
+//
+// Compatibility shim over the "f2" registry entry, which measures both
+// report policies; this picks the requested one.
 func RunF2(opt Options, unsolicitedReports bool) F2Result {
+	both := mustRunExp("f2", exp.Context{Opt: opt}, nil).Artifact.([2]F2Result)
+	if unsolicitedReports {
+		return both[0]
+	}
+	return both[1]
+}
+
+func measureF2(opt Options, unsolicitedReports bool) F2Result {
 	opt.HostMLD.ResendOnMove = unsolicitedReports
 	r := NewRun(opt, LocalMembership, 100*time.Millisecond, 64)
 	l4 := r.WatchLink("L4")
@@ -130,7 +148,15 @@ type F3Result struct {
 // RunF3 reproduces Figure 3: Receiver 3 moves from Link 4 to Link 1 and
 // receives through its home agent (Router D) over the tunnel. The variant
 // selects the paper's §4.3.2 signaling mechanism.
+//
+// Compatibility shim over the "f3" registry entry, which measures both
+// variants; this picks the requested one.
 func RunF3(opt Options, variant HAVariant) F3Result {
+	both := mustRunExp("f3", exp.Context{Opt: opt}, nil).Artifact.(map[HAVariant]F3Result)
+	return both[variant]
+}
+
+func measureF3(opt Options, variant HAVariant) F3Result {
 	approach := UniTunnelHAToMN
 	approach.Variant = variant
 	r := NewRun(opt, approach, 100*time.Millisecond, 64)
@@ -173,7 +199,18 @@ type F4Result struct {
 // RunF4 reproduces Figure 4 (sendTunnel=true: Sender S moves to Link 6 and
 // reverse-tunnels to Router A) and the §4.2.2-A contrast (sendTunnel=false:
 // S sends locally and PIM-DM builds a new tree).
+//
+// Compatibility shim over the "f4" registry entry, which measures both
+// send modes; this picks the requested one.
 func RunF4(opt Options, sendTunnel bool) F4Result {
+	both := mustRunExp("f4", exp.Context{Opt: opt}, nil).Artifact.([2]F4Result)
+	if sendTunnel {
+		return both[0]
+	}
+	return both[1]
+}
+
+func measureF4(opt Options, sendTunnel bool) F4Result {
 	approach := LocalMembership
 	if sendTunnel {
 		approach = UniTunnelMNToHA

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mip6mcast/internal/exp"
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/scenario"
 	"mip6mcast/internal/sim"
@@ -39,12 +40,11 @@ type T1Row struct {
 // approaches: Receiver 3 moves Link4→Link6 at t=60 s, Sender S moves
 // Link1→Link6 at t=180 s, horizon 420 s. Identical workload and seed per
 // approach.
+//
+// Compatibility shim over the "t1" registry entry (which runs the four
+// approaches' timelines in parallel).
 func RunT1(opt Options) []T1Row {
-	rows := make([]T1Row, 0, 4)
-	for _, approach := range FourApproaches() {
-		rows = append(rows, runT1One(opt, approach))
-	}
-	return rows
+	return mustRunExp("t1", exp.Context{Opt: opt}, nil).Artifact.([]T1Row)
 }
 
 func runT1One(opt Options, approach Approach) T1Row {
@@ -83,7 +83,14 @@ func runT1One(opt Options, approach Approach) T1Row {
 
 // T1Table renders RunT1 results in the paper's style.
 func T1Table(rows []T1Row) string {
-	cols := []string{"join(s)", "sndgap(s)", "data(kB)", "tun(kB)", "ctrl(kB)", "haload", "peakSG", "hopsR3", "optR3", "lossR3"}
+	return metrics.Table("T1: four approaches, Fig.1 movement scenario", t1Columns(), t1Rows(rows))
+}
+
+func t1Columns() []string {
+	return []string{"join(s)", "sndgap(s)", "data(kB)", "tun(kB)", "ctrl(kB)", "haload", "peakSG", "hopsR3", "optR3", "lossR3"}
+}
+
+func t1Rows(rows []T1Row) []metrics.Row {
 	out := make([]metrics.Row, 0, len(rows))
 	for _, r := range rows {
 		out = append(out, metrics.Row{
@@ -102,7 +109,7 @@ func T1Table(rows []T1Row) string {
 			},
 		})
 	}
-	return metrics.Table("T1: four approaches, Fig.1 movement scenario", cols, out)
+	return out
 }
 
 // S44Point is one sample of the §4.4 timer-optimization tradeoff.
@@ -121,56 +128,50 @@ type S44Point struct {
 }
 
 // RunS44 sweeps the MLD Query Interval (paper §4.4): small T_Query buys
-// short join/leave delays at a small signaling cost. Replicates (different
-// seeds) run in parallel and are averaged.
+// short join/leave delays at a small signaling cost. Replicates (derived
+// seeds) run in parallel and are reduced to means.
+//
+// Compatibility shim over the "s44" registry entry; the returned points
+// carry the replicate means (full stddev/CI statistics are available via
+// the registry Result).
 func RunS44(queryIntervalsSec []int, unsolicited bool, replicates int) []S44Point {
-	points := make([]S44Point, len(queryIntervalsSec))
-	type acc struct {
-		join, leave time.Duration
-		waste       uint64
-		mld         float64
-	}
-	results := make([][]acc, len(queryIntervalsSec))
-	for i := range results {
-		results[i] = make([]acc, replicates)
-	}
-	total := len(queryIntervalsSec) * replicates
-	sim.RunParallel(total, 0, func(idx int) {
-		qi := idx / replicates
-		rep := idx % replicates
-		opt := FastMLDOptions(queryIntervalsSec[qi])
-		opt.Seed = int64(1000 + rep)
-		opt.HostMLD.ResendOnMove = unsolicited
-
-		r := NewRun(opt, LocalMembership, 100*time.Millisecond, 64)
-		l4 := r.WatchLink("L4")
-		r.F.Run(40 * time.Second)
-		moveAt := r.MoveHost("R3", "L6")
-		horizon := opt.MLD.ListenerInterval() + opt.MLD.QueryInterval + 60*time.Second
-		r.F.Run(horizon)
-
-		a := &results[qi][rep]
-		if d, ok := r.JoinDelay("R3", moveAt); ok {
-			a.join = d
+	res := mustRunExp("s44",
+		exp.Context{Opt: DefaultOptions(), Replicates: replicates},
+		exp.Params{"tquery": queryIntervalsSec, "unsolicited": unsolicited})
+	points := make([]S44Point, len(res.Stats))
+	for i, pt := range res.Stats {
+		points[i] = S44Point{
+			QueryInterval:   secs(queryIntervalsSec[i]),
+			Unsolicited:     unsolicited,
+			JoinDelay:       time.Duration(pt.Mean("join(s)") * float64(time.Second)),
+			LeaveDelay:      time.Duration(pt.Mean("leave(s)") * float64(time.Second)),
+			WastedBytes:     uint64(pt.Mean("waste(B)") + 0.5),
+			MLDBytesPerHour: pt.Mean("mld(B/h)"),
 		}
-		if l4.Last > moveAt {
-			a.leave = l4.Last.Sub(moveAt)
-		}
-		a.waste = l4.BytesAfter(moveAt)
-		elapsed := r.F.Sched.Now().Seconds()
-		a.mld = float64(r.F.Acct.TotalBytes(metrics.ClassMLD)) * 3600 / elapsed
-	})
-	for i, qs := range queryIntervalsSec {
-		p := S44Point{QueryInterval: secs(qs), Unsolicited: unsolicited}
-		for _, a := range results[i] {
-			p.JoinDelay += a.join / time.Duration(replicates)
-			p.LeaveDelay += a.leave / time.Duration(replicates)
-			p.WastedBytes += a.waste / uint64(replicates)
-			p.MLDBytesPerHour += a.mld / float64(replicates)
-		}
-		points[i] = p
 	}
 	return points
+}
+
+// measureS44One runs one §4.4 timeline: opt's MLD timers are already set
+// for the swept point; the receiver moves to a memberless link at t=40 s.
+func measureS44One(opt Options) (join, leave time.Duration, waste uint64, mldPerHour float64) {
+	r := NewRun(opt, LocalMembership, 100*time.Millisecond, 64)
+	l4 := r.WatchLink("L4")
+	r.F.Run(40 * time.Second)
+	moveAt := r.MoveHost("R3", "L6")
+	horizon := opt.MLD.ListenerInterval() + opt.MLD.QueryInterval + 60*time.Second
+	r.F.Run(horizon)
+
+	if d, ok := r.JoinDelay("R3", moveAt); ok {
+		join = d
+	}
+	if l4.Last > moveAt {
+		leave = l4.Last.Sub(moveAt)
+	}
+	waste = l4.BytesAfter(moveAt)
+	elapsed := r.F.Sched.Now().Seconds()
+	mldPerHour = float64(r.F.Acct.TotalBytes(metrics.ClassMLD)) * 3600 / elapsed
+	return join, leave, waste, mldPerHour
 }
 
 // S44Table renders the sweep.
@@ -210,7 +211,16 @@ type S431Result struct {
 // sending locally (approach A), reproducing §4.3.1's overhead analysis:
 // every move builds a new source-rooted tree, floods, and the stale-source
 // window triggers assert processes.
+//
+// Compatibility shim over the "s431" registry entry at a single sweep
+// point.
 func RunS431(opt Options, moves int, dwell time.Duration) S431Result {
+	res := mustRunExp("s431", exp.Context{Opt: opt},
+		exp.Params{"moves": []int{moves}, "dwell": int(dwell / time.Second)})
+	return res.Stats[0].Raw[0].(S431Result)
+}
+
+func measureS431(opt Options, moves int, dwell time.Duration) S431Result {
 	// Movement detection takes as long as router advertisements are apart;
 	// the paper's assert analysis assumes a non-negligible window in which
 	// the sender still uses its stale source address. Model the era's RA
@@ -261,14 +271,23 @@ type S432Point struct {
 }
 
 // RunS432 reproduces the §4.3.2 tunnel-convergence observation for each N.
+//
+// Compatibility shim over the "s432" registry entry.
 func RunS432(opt Options, ns []int) []S432Point {
-	out := make([]S432Point, 0, len(ns))
-	for _, n := range ns {
-		local := runS432One(opt, LocalMembership, n)
-		tun := runS432One(opt, BidirectionalTunnel, n)
-		out = append(out, S432Point{N: n, LocalBytesPerDgram: local, TunnelBytesPerDgram: tun})
+	res := mustRunExp("s432", exp.Context{Opt: opt}, exp.Params{"n": ns})
+	out := make([]S432Point, len(res.Stats))
+	for i, pt := range res.Stats {
+		out[i] = pt.Raw[0].(S432Point)
 	}
 	return out
+}
+
+func measureS432Point(opt Options, n int) S432Point {
+	return S432Point{
+		N:                   n,
+		LocalBytesPerDgram:  runS432One(opt, LocalMembership, n),
+		TunnelBytesPerDgram: runS432One(opt, BidirectionalTunnel, n),
+	}
 }
 
 func runS432One(opt Options, approach Approach, n int) float64 {

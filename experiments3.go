@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mip6mcast/internal/core"
+	"mip6mcast/internal/exp"
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/netem"
@@ -46,10 +47,14 @@ func MultiGroupAddr(i int) ipv6.Addr {
 // receiver R3 subscribes to all groups via the Group List mechanism and
 // moves to Link 6; a sender on Link 1 cycles one datagram per interval
 // across the groups.
+//
+// Compatibility shim over the "smg" registry entry.
 func RunSMG(opt Options, counts []int) []SMGPoint {
-	out := make([]SMGPoint, 0, len(counts))
-	for _, g := range counts {
-		out = append(out, runSMGOne(opt, g))
+	res := mustRunExp("smg", exp.Context{Opt: opt},
+		exp.Params{"groups": counts, "tquery": 0})
+	out := make([]SMGPoint, len(res.Stats))
+	for i, pt := range res.Stats {
+		out[i] = pt.Raw[0].(SMGPoint)
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mip6mcast/internal/core"
+	"mip6mcast/internal/exp"
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/netem"
@@ -35,11 +36,14 @@ type SLDPoint struct {
 
 // RunSLD measures both receive modes at each depth. The sender and the
 // receiver's home are on link 0; the receiver roams to the far end.
+//
+// Compatibility shim over the "sld" registry entry.
 func RunSLD(opt Options, depths []int) []SLDPoint {
-	out := make([]SLDPoint, 0, 2*len(depths))
-	for _, d := range depths {
-		out = append(out, runSLDOne(opt, d, false))
-		out = append(out, runSLDOne(opt, d, true))
+	res := mustRunExp("sld", exp.Context{Opt: opt},
+		exp.Params{"depths": depths, "tquery": 0})
+	out := make([]SLDPoint, len(res.Stats))
+	for i, pt := range res.Stats {
+		out[i] = pt.Raw[0].(SLDPoint)
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mip6mcast/internal/exp"
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/netem"
 	"mip6mcast/internal/sim"
@@ -35,10 +36,14 @@ type SMTUPoint struct {
 // RunSMTU sweeps the datagram payload size across the tunnel-MTU boundary.
 // R3 receives through its home agent on Link 6; R1 receives locally (the
 // control). lossRate is applied to every link.
+//
+// Compatibility shim over the "smtu" registry entry at a single loss rate.
 func RunSMTU(opt Options, payloads []int, lossRate float64) []SMTUPoint {
-	out := make([]SMTUPoint, 0, len(payloads))
-	for _, p := range payloads {
-		out = append(out, runSMTUOne(opt, p, lossRate))
+	res := mustRunExp("smtu", exp.Context{Opt: opt},
+		exp.Params{"payloads": payloads, "losses": []float64{lossRate}, "tquery": 0})
+	out := make([]SMTUPoint, len(res.Stats))
+	for i, pt := range res.Stats {
+		out[i] = pt.Raw[0].(SMTUPoint)
 	}
 	return out
 }

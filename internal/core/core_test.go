@@ -59,10 +59,9 @@ type rig struct {
 }
 
 func newRig(seed int64, approach core.Approach) *rig {
-	opt := scenario.DefaultOptions()
+	opt := scenario.DefaultOptions().WithMLD(mld.FastConfig(30 * time.Second))
 	opt.Seed = seed
-	opt.MLD = mld.FastConfig(30 * time.Second)
-	opt.HostMLD = core.RecommendedHostMLD(approach, mld.HostConfig{Config: opt.MLD, ResendOnMove: true})
+	opt.HostMLD = core.RecommendedHostMLD(approach, opt.HostMLD)
 	f := scenario.NewFigure1(opt)
 	r := &rig{f: f, svc: map[string]*core.Service{}, hsvc: map[string]*core.HAService{}}
 	for _, name := range scenario.RouterNames() {
@@ -309,9 +308,8 @@ func TestHAServiceWithPlainMLDHost(t *testing.T) {
 	// The paper's second §4.3.2 scenario: the home agent is NOT the PIM
 	// router. Build it explicitly: a dedicated HA box on L4 joins groups
 	// via ordinary MLD toward router D.
-	opt := scenario.DefaultOptions()
-	opt.MLD = mld.FastConfig(30 * time.Second)
-	opt.HostMLD = mld.HostConfig{Config: opt.MLD, ResendOnMove: false}
+	opt := scenario.DefaultOptions().WithMLD(mld.FastConfig(30 * time.Second))
+	opt.HostMLD.ResendOnMove = false
 	f := scenario.NewFigure1(opt)
 
 	// Dedicated HA node on L4.

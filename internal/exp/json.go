@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// JSONSchema identifies the result-file layout. Bump only with a new
+// schema name — downstream bench trajectories key on it.
+const JSONSchema = "mip6mcast/exp-result/v1"
+
+// JSONValue is one cell's replicate statistics. Single-shot experiments
+// report n=1 with 0-width spread.
+type JSONValue struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+	N    int     `json:"n"`
+}
+
+// JSONRow is one labeled result row.
+type JSONRow struct {
+	Label  string               `json:"label"`
+	Values map[string]JSONValue `json:"values"`
+}
+
+// JSONResult is the machine-readable form of one experiment run.
+type JSONResult struct {
+	Schema     string         `json:"schema"`
+	Experiment string         `json:"experiment"`
+	Title      string         `json:"title"`
+	Seed       int64          `json:"seed"`
+	Replicates int            `json:"replicates"`
+	Params     map[string]any `json:"params"`
+	Columns    []string       `json:"columns"`
+	Rows       []JSONRow      `json:"rows"`
+}
+
+// ResultJSON converts a run's Result into the stable JSON form. Sweep
+// results serialize their replicate statistics; single-shot results
+// serialize their display rows as n=1 cells.
+func ResultJSON(name string, ctx Context, p Params, r Result) JSONResult {
+	jr := JSONResult{
+		Schema:     JSONSchema,
+		Experiment: name,
+		Title:      r.Title,
+		Seed:       ctx.Opt.Seed,
+		Replicates: ctx.replicates(),
+		Params:     map[string]any(p),
+	}
+	if jr.Params == nil {
+		jr.Params = map[string]any{}
+	}
+	if len(r.Stats) > 0 {
+		jr.Columns = r.StatsColumns
+		for _, pt := range r.Stats {
+			row := JSONRow{Label: pt.Label, Values: make(map[string]JSONValue, len(pt.Cols))}
+			for col, s := range pt.Cols {
+				row.Values[col] = JSONValue{Mean: s.Mean(), Std: s.Stddev(), CI95: s.CI95(), N: s.N()}
+			}
+			jr.Rows = append(jr.Rows, row)
+		}
+		return jr
+	}
+	jr.Columns = r.Columns
+	for _, row := range r.Rows {
+		out := JSONRow{Label: row.Label, Values: make(map[string]JSONValue, len(row.Values))}
+		for col, v := range row.Values {
+			out.Values[col] = JSONValue{Mean: v, N: 1}
+		}
+		jr.Rows = append(jr.Rows, out)
+	}
+	return jr
+}
+
+// WriteJSON writes one result file, <dir>/<experiment>.json, creating dir
+// as needed, and returns the written path. Map keys marshal sorted, so
+// output bytes are stable for a given result.
+func WriteJSON(dir string, jr JSONResult) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(jr, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, jr.Experiment+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("writing %s: %w", path, err)
+	}
+	return path, nil
+}

@@ -39,6 +39,17 @@ type Options struct {
 	LinkMTU int
 }
 
+// WithMLD returns a copy of o with the router MLD configuration and the
+// host listener configuration replaced in lockstep. Routers and hosts
+// read their timers from different fields (MLD vs HostMLD.Config);
+// setting only one desynchronizes Query Interval from listener behavior,
+// so every caller that retunes MLD must go through this builder.
+func (o Options) WithMLD(cfg mld.Config) Options {
+	o.MLD = cfg
+	o.HostMLD.Config = cfg
+	return o
+}
+
 // DefaultOptions uses every protocol's draft/RFC default — the
 // configuration whose delays the paper criticizes.
 func DefaultOptions() Options {

@@ -15,9 +15,7 @@ import (
 // decoded event stream contains the protocol sequence the paper describes.
 func runScenario(t *testing.T) *trace.Collector {
 	t.Helper()
-	opt := scenario.DefaultOptions()
-	opt.MLD = mld.FastConfig(30 * time.Second)
-	opt.HostMLD = mld.HostConfig{Config: opt.MLD, ResendOnMove: true}
+	opt := scenario.DefaultOptions().WithMLD(mld.FastConfig(30 * time.Second))
 	f := scenario.NewFigure1(opt)
 	col := &trace.Collector{}
 	col.Attach(f.Net)

@@ -5,17 +5,23 @@
 // four approaches for multicast to/from mobile hosts, and experiment
 // runners that quantify every comparison the paper makes qualitatively.
 //
-// The typical entry points are the Run* experiment functions (one per paper
-// table/figure/section — see EXPERIMENTS.md) and, underneath them, the
-// building blocks re-exported from the internal packages:
+// The typical entry point is the experiment registry (see EXPERIMENTS.md):
+// every paper table/figure/section is a named Experiment that can be listed,
+// parameterized, replicated across parallel timelines and reduced to
+// mean ± 95% CI statistics:
 //
 //	opt := mip6mcast.DefaultOptions()
-//	res := mip6mcast.RunMobileReceiverLocal(opt, true)
-//	fmt.Println(res.JoinDelay, res.LeaveDelay)
+//	res, err := mip6mcast.RunExperiment("s44",
+//		mip6mcast.ExpContext{Opt: opt, Replicates: 5}, nil)
+//	fmt.Print(res.Render())
+//
+// The legacy Run* functions remain as typed compatibility shims over the
+// registry entries.
 package mip6mcast
 
 import (
 	"mip6mcast/internal/core"
+	"mip6mcast/internal/exp"
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/mld"
 	"mip6mcast/internal/pimdm"
@@ -74,10 +80,7 @@ func DefaultOptions() Options { return scenario.DefaultOptions() }
 // FastMLDOptions returns DefaultOptions with the paper's §4.4 tuning
 // applied: a reduced MLD Query Interval.
 func FastMLDOptions(queryIntervalSeconds int) Options {
-	opt := scenario.DefaultOptions()
-	opt.MLD = mld.FastConfig(secs(queryIntervalSeconds))
-	opt.HostMLD.Config = opt.MLD
-	return opt
+	return scenario.DefaultOptions().WithMLD(mld.FastConfig(secs(queryIntervalSeconds)))
 }
 
 // DefaultPIMConfig exposes the PIM-DM defaults (210 s data timeout, 3 s
@@ -95,3 +98,31 @@ func Table(title string, columns []string, rows []metrics.Row) string {
 
 // Row is one labeled result row.
 type Row = metrics.Row
+
+// The experiment registry surface (see internal/exp). Entries are
+// registered by this package's init and cover every paper artifact:
+// f1 f2 f3 f4 t1 s44 s431 s432 smg sld smtu.
+type (
+	// Experiment is a registered, runnable paper artifact.
+	Experiment = exp.Experiment
+	// ExpContext carries base options, replicate count and worker cap.
+	ExpContext = exp.Context
+	// ExpParams overrides an experiment's declared parameters.
+	ExpParams = exp.Params
+	// ExpResult is a rendered-table-plus-statistics experiment outcome.
+	ExpResult = exp.Result
+)
+
+// Experiments returns the registered experiment names in registration
+// (canonical "run all") order.
+func Experiments() []string { return exp.Names() }
+
+// GetExperiment looks up a registered experiment by name.
+func GetExperiment(name string) (*Experiment, bool) { return exp.Get(name) }
+
+// RunExperiment resolves params against the named experiment's schema and
+// runs it. Replicates and Workers come from the context; a nil params map
+// uses the declared defaults.
+func RunExperiment(name string, ctx ExpContext, p ExpParams) (ExpResult, error) {
+	return exp.Run(name, ctx, p)
+}

@@ -1,0 +1,108 @@
+package mip6mcast
+
+import (
+	"strings"
+	"testing"
+
+	"mip6mcast/internal/exp"
+)
+
+// Every paper artifact must be registered, in the canonical order.
+func TestRegistryCoversAllExperiments(t *testing.T) {
+	want := []string{"f1", "f2", "f3", "f4", "t1", "s44", "s431", "s432", "smg", "sld", "smtu"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registered %v, want %v", got, want)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("registration order %v, want %v", got, want)
+		}
+		e, ok := GetExperiment(name)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		if e.Desc == "" {
+			t.Errorf("experiment %q has no description", name)
+		}
+	}
+}
+
+// detParams shrinks each experiment to a fast-but-representative
+// configuration so the worker-count determinism check stays affordable.
+// Experiments without an entry run with their declared defaults.
+var detParams = map[string]exp.Params{
+	"s44":  {"tquery": []int{10}},
+	"s431": {"moves": []int{2}},
+	"s432": {"n": []int{2}},
+	"smg":  {"groups": []int{4}},
+	"sld":  {"depths": []int{2}},
+	"smtu": {"payloads": []int{1413}, "losses": []float64{0.05}},
+}
+
+// Identical seeds must yield byte-identical tables regardless of worker
+// parallelism: timelines only share read-only inputs, and replicate seeds
+// derive deterministically from the master seed.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment twice")
+	}
+	for _, name := range Experiments() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			render := func(workers int) string {
+				opt := DefaultOptions()
+				opt.Seed = 7
+				res, err := RunExperiment(name, ExpContext{Opt: opt, Replicates: 2, Workers: workers}, detParams[name])
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return res.Render()
+			}
+			serial := render(1)
+			parallel := render(8)
+			if serial != parallel {
+				t.Errorf("workers=1 and workers=8 tables differ:\n--- workers=1\n%s\n--- workers=8\n%s", serial, parallel)
+			}
+			if !strings.Contains(serial, "\n") {
+				t.Errorf("rendered table looks empty: %q", serial)
+			}
+		})
+	}
+}
+
+// Replicate 0 must reuse the master seed, so a single-replicate sweep
+// reproduces the corresponding one-shot run exactly.
+func TestSingleReplicateMatchesOneShot(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Seed = 3
+
+	res, err := RunExperiment("s432", ExpContext{Opt: opt, Replicates: 1}, exp.Params{"n": []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := measureS432Point(opt, 2)
+	viaSweep := res.Stats[0].Raw[0].(S432Point)
+	if direct != viaSweep {
+		t.Errorf("single-replicate sweep point %+v != one-shot %+v", viaSweep, direct)
+	}
+	if got := res.Stats[0].Mean("tunnel(B/dgram)"); got != direct.TunnelBytesPerDgram {
+		t.Errorf("stats mean %v != one-shot %v", got, direct.TunnelBytesPerDgram)
+	}
+}
+
+// WithMLD must keep the router and host timer views in lockstep (the
+// drift hazard FastMLDOptions used to carry).
+func TestFastMLDOptionsKeepsHostAndRouterInSync(t *testing.T) {
+	opt := FastMLDOptions(30)
+	if opt.MLD != opt.HostMLD.Config {
+		t.Errorf("router MLD config %+v != host view %+v", opt.MLD, opt.HostMLD.Config)
+	}
+	if !opt.HostMLD.ResendOnMove {
+		t.Error("FastMLDOptions must preserve the default unsolicited-report behavior")
+	}
+	if opt.MLD == DefaultOptions().MLD {
+		t.Error("FastMLDOptions did not change the query interval")
+	}
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full pre-merge gate: build, vet, and the test suite under the race
+# detector. The race run matters because the experiment registry fans
+# replicate timelines across goroutines (internal/exp.Sweep and the root
+# package's workers=8 determinism tests exercise it).
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
