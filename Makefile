@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check
+.PHONY: all build vet test race check bench
 
 all: check
 
@@ -20,3 +20,13 @@ race:
 	$(GO) test -race ./...
 
 check: build vet race
+
+# Benchmark evidence for the observability layer: kernel dispatch cost with
+# instrumentation off/on, the nil-recorder hook cost (must be 0 allocs),
+# and full-stack forwarding with and without a recorder attached. Output is
+# the `go test -json` event stream.
+bench:
+	$(GO) test -json -run '^$$' -benchmem \
+		-bench 'BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding' \
+		./internal/sim ./internal/obs . > BENCH_PR2.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR2.json | sed 's/"Output":"//;s/\\n$$//' || true

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/obs"
 	"mip6mcast/internal/sim"
 )
 
@@ -303,4 +304,29 @@ func BenchmarkSteadyStateForwarding(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(r.F.Sched.Processed())/float64(b.N), "events/iter")
+}
+
+// BenchmarkObsOverhead quantifies the observability layer's cost on the
+// same converged streaming workload as BenchmarkSteadyStateForwarding:
+// "off" runs with no recorder (every hook is an untaken nil-check branch —
+// this must stay within noise of the plain run), "on" records every state
+// transition plus all link transmissions.
+func BenchmarkObsOverhead(b *testing.B) {
+	bench := func(b *testing.B, rec *obs.Recorder) {
+		opt := DefaultOptions()
+		opt.Obs = rec
+		r := NewRun(opt, LocalMembership, 10*time.Millisecond, 256)
+		r.F.Run(30 * time.Second) // converge
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.F.Run(time.Second)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(r.F.Sched.Processed())/float64(b.N), "events/iter")
+		if rec != nil {
+			b.ReportMetric(float64(rec.Len())/float64(b.N), "recorded/iter")
+		}
+	}
+	b.Run("off", func(b *testing.B) { bench(b, nil) })
+	b.Run("on", func(b *testing.B) { bench(b, obs.NewRecorder(nil)) })
 }

@@ -16,10 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"mip6mcast"
 	"mip6mcast/internal/exp"
+	"mip6mcast/internal/metrics"
+	"mip6mcast/internal/obs"
 )
 
 func main() {
@@ -32,6 +36,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "simulation master seed")
 		tquery      = flag.Int("tquery", 0, "MLD query interval in seconds (0 = RFC default 125)")
 		unsolicited = flag.Bool("unsolicited", true, "mobile receivers send unsolicited MLD reports after moving")
+		progress    = flag.Bool("progress", false, "report per-timeline scheduler stats to stderr as cells complete")
+		traceOut    = flag.String("trace-out", "", "record each experiment's first timeline to <dir>/<id>.jsonl and <dir>/<id>.trace.json")
 	)
 	flag.Parse()
 
@@ -47,11 +53,39 @@ func main() {
 	opt.Seed = *seed
 	ctx := mip6mcast.ExpContext{Opt: opt, Replicates: *replicates, Workers: *workers}
 
+	// Progress reporting: print each completed timeline cell and keep
+	// aggregate events/sec statistics for the end-of-run summary. The
+	// experiment engine serializes Progress calls, so plain variables are
+	// safe here; curID is only written between experiment runs.
+	var (
+		curID       string
+		cells       int
+		totalEvents uint64
+		totalWall   time.Duration
+		cellRate    metrics.Stats
+	)
+	if *progress {
+		ctx.Progress = func(cs exp.CellStats) {
+			cells++
+			totalEvents += cs.Sched.Dispatched
+			totalWall += cs.Wall
+			cellRate.Add(cs.EventsPerSec())
+			label := cs.Label
+			if label == "" {
+				label = fmt.Sprintf("variant %d", cs.Point)
+			}
+			fmt.Fprintf(os.Stderr, "  %s [%s rep %d]: %d events in %v (%.0f ev/s, hwm %d, vt %v)\n",
+				curID, label, cs.Replicate, cs.Sched.Dispatched, cs.Wall.Round(time.Microsecond),
+				cs.EventsPerSec(), cs.Sched.QueueHighWater, time.Duration(cs.Sched.Virtual))
+		}
+	}
+
 	ids := strings.Split(*experiment, ",")
 	if *experiment == "all" {
 		ids = mip6mcast.Experiments()
 	}
 	for _, id := range ids {
+		curID = id
 		e, ok := mip6mcast.GetExperiment(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s)\n",
@@ -76,6 +110,20 @@ func main() {
 			p["unsolicited"] = *unsolicited
 		}
 
+		// Trace capture: record the experiment's first timeline cell
+		// (point 0, replicate 0 — the master seed's run). The factory may
+		// be called from parallel workers; it only reads.
+		var rec *obs.Recorder
+		if *traceOut != "" {
+			rec = obs.NewRecorder(nil)
+			ctx.Recorder = func(pt, rep int) *obs.Recorder {
+				if pt == 0 && rep == 0 {
+					return rec
+				}
+				return nil
+			}
+		}
+
 		res, err := mip6mcast.RunExperiment(id, ctx, p)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -83,6 +131,13 @@ func main() {
 		}
 		fmt.Print(res.Render())
 		fmt.Println()
+
+		if rec != nil {
+			if err := writeTraces(*traceOut, id, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 
 		if *jsonDir != "" {
 			resolved, err := e.ResolveParams(p)
@@ -98,6 +153,46 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 	}
+
+	if *progress && cells > 0 {
+		fmt.Fprintf(os.Stderr, "ran %d timelines: %d events, wall %v; ev/s min %.0f mean %.0f max %.0f\n",
+			cells, totalEvents, totalWall.Round(time.Millisecond),
+			cellRate.Min(), cellRate.Mean(), cellRate.Max())
+	}
+}
+
+// writeTraces exports one recorded timeline as deterministic JSONL and a
+// Chrome trace-event (Perfetto) file.
+func writeTraces(dir, id string, rec *obs.Recorder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	jp := filepath.Join(dir, id+".jsonl")
+	jf, err := os.Create(jp)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	pp := filepath.Join(dir, id+".trace.json")
+	pf, err := os.Create(pp)
+	if err != nil {
+		return err
+	}
+	if err := rec.WritePerfetto(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s and %s (%d events)\n", jp, pp, rec.Len())
+	return nil
 }
 
 func paramKind(e *mip6mcast.Experiment, name string) (exp.Kind, bool) {

@@ -2,22 +2,32 @@
 // network and dumps the decoded packet trace: floods, prunes, grafts,
 // asserts, MLD queries/reports, binding updates, and tunneled datagrams.
 //
+// Besides the human-readable text dump it can export the run as an
+// observability timeline: deterministic JSONL (one event per line) or a
+// Chrome trace-event file for the Perfetto UI (https://ui.perfetto.dev),
+// with per-node tracks for every protocol state machine plus the decoded
+// link transmissions.
+//
 // Usage:
 //
 //	mip6trace                         # bidirectional tunnel, default timers
 //	mip6trace -approach local -kinds pim-prune,pim-graft,data
 //	mip6trace -duration 120s -move-receiver 30s -move-sender 60s
+//	mip6trace -format perfetto -o fig1.trace.json
+//	mip6trace -format jsonl -sched-stats -o fig1.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"mip6mcast"
 	"mip6mcast/internal/core"
+	"mip6mcast/internal/obs"
 	"mip6mcast/internal/scenario"
 	"mip6mcast/internal/trace"
 )
@@ -32,6 +42,9 @@ func main() {
 		interval     = flag.Duration("interval", time.Second, "CBR datagram interval")
 		tquery       = flag.Int("tquery", 30, "MLD query interval seconds")
 		seed         = flag.Int64("seed", 1, "simulation seed")
+		format       = flag.String("format", "text", "output format: text | jsonl | perfetto")
+		outPath      = flag.String("o", "", "output file (default stdout)")
+		schedStats   = flag.Bool("sched-stats", false, "print scheduler run stats (per-tag timing) to stderr")
 	)
 	flag.Parse()
 
@@ -45,25 +58,71 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown approach %q\n", *approachName)
 		os.Exit(2)
 	}
+	if *format != "text" && *format != "jsonl" && *format != "perfetto" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (want text, jsonl or perfetto)\n", *format)
+		os.Exit(2)
+	}
+
+	// Validate -kinds against the decoder's vocabulary up front: a typo
+	// would otherwise silently filter everything out.
+	var keep map[string]bool
+	if *kinds != "" {
+		keep = map[string]bool{}
+		var bad []string
+		for _, k := range strings.Split(*kinds, ",") {
+			k = strings.TrimSpace(k)
+			if !trace.IsKnownKind(k) {
+				bad = append(bad, k)
+				continue
+			}
+			keep[k] = true
+		}
+		if len(bad) > 0 {
+			sort.Strings(bad)
+			fmt.Fprintf(os.Stderr, "unknown event kind(s) %s; valid kinds: %s\n",
+				strings.Join(bad, ", "), strings.Join(trace.KnownKinds(), " "))
+			os.Exit(2)
+		}
+	}
+
+	out := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
 
 	opt := mip6mcast.FastMLDOptions(*tquery)
 	opt.Seed = *seed
 	opt.HostMLD = core.RecommendedHostMLD(approach, opt.HostMLD)
+	opt.Instrument = *schedStats
 	f := scenario.NewFigure1(opt)
 
-	w := &trace.Writer{W: os.Stdout}
-	if *kinds != "" {
-		keep := map[string]bool{}
-		for _, k := range strings.Split(*kinds, ",") {
-			keep[strings.TrimSpace(k)] = true
+	kindFilter := func(e trace.Event) bool { return keep == nil || keep[e.Kind] }
+
+	// Text mode streams decoded transmissions as they happen; the timeline
+	// formats record state machines + link events and export at the end.
+	var rec *obs.Recorder
+	var w *trace.Writer
+	if *format == "text" {
+		w = &trace.Writer{W: out}
+		if keep != nil {
+			w.Filter = kindFilter
 		}
-		w.Filter = func(e trace.Event) bool { return keep[e.Kind] }
+		w.Attach(f.Net)
+	} else {
+		rec = obs.NewRecorder(f.Sched)
+		f.AttachRecorder(rec)
+		trace.RecordLinks(rec, f.Net, kindFilter)
 	}
-	w.Attach(f.Net)
 
 	for _, name := range scenario.RouterNames() {
 		r := f.Routers[name]
-		for _, ha := range r.HAs {
+		for _, ha := range r.HomeAgents() {
 			core.NewHAService(ha, r.PIM, nil, opt.MLD)
 		}
 	}
@@ -79,19 +138,57 @@ func main() {
 		svcs["S"].Send(scenario.Group, p)
 	})
 
+	banner := func(s string) {
+		if *format == "text" {
+			fmt.Fprintf(out, "%10s ---- %s ----\n", f.Sched.Now(), s)
+		} else {
+			rec.Instant("net", "scenario", "move", s)
+		}
+	}
 	if *moveReceiver > 0 {
 		f.Sched.At(0, func() {})
 		f.Sched.Schedule(*moveReceiver, func() {
-			fmt.Printf("%10s ---- R3 moves to L6 ----\n", f.Sched.Now())
+			banner("R3 moves to L6")
 			f.Move("R3", "L6")
 		})
 	}
 	if *moveSender > 0 {
 		f.Sched.Schedule(*moveSender, func() {
-			fmt.Printf("%10s ---- S moves to L6 ----\n", f.Sched.Now())
+			banner("S moves to L6")
 			f.Move("S", "L6")
 		})
 	}
 	f.Run(*duration)
-	fmt.Printf("---- %d events, %s of virtual time, approach=%s ----\n", w.Count, *duration, approach)
+
+	switch *format {
+	case "text":
+		fmt.Fprintf(out, "---- %d events, %s of virtual time, approach=%s ----\n", w.Count, *duration, approach)
+	case "jsonl":
+		if err := rec.WriteJSONL(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case "perfetto":
+		if err := rec.WritePerfetto(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *schedStats {
+		rs := f.Sched.RunStats()
+		fmt.Fprintf(os.Stderr, "scheduler: %d events dispatched, queue high-water %d, virtual %v",
+			rs.Dispatched, rs.QueueHighWater, time.Duration(rs.Virtual))
+		if rs.Wall > 0 {
+			fmt.Fprintf(os.Stderr, ", wall %v in handlers (%.0fx realtime)", rs.Wall.Round(time.Microsecond), rs.SpeedUp())
+		}
+		fmt.Fprintln(os.Stderr)
+		for _, ts := range rs.Tags {
+			tag := ts.Tag
+			if tag == "" {
+				tag = "(untagged)"
+			}
+			fmt.Fprintf(os.Stderr, "  %-10s %8d events  %v\n", tag, ts.Events, ts.Wall.Round(time.Microsecond))
+		}
+	}
 }

@@ -67,7 +67,7 @@ func runSMGOne(opt Options, nGroups int) SMGPoint {
 	// HA services everywhere (PIM-enabled HAs).
 	for _, name := range scenario.RouterNames() {
 		router := f.Routers[name]
-		for _, ha := range router.HAs {
+		for _, ha := range router.HomeAgents() {
 			core.NewHAService(ha, router.PIM, nil, opt.MLD)
 		}
 	}

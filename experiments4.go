@@ -59,7 +59,7 @@ func runSLDOne(opt Options, depth int, tunnel bool) SLDPoint {
 	// HA services on every designated home agent.
 	for _, r := range topo.Routers {
 		router := r
-		for _, ha := range r.HAs {
+		for _, ha := range r.HomeAgents() {
 			core.NewHAService(ha, router.PIM, nil, opt.MLD)
 		}
 	}

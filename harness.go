@@ -84,7 +84,7 @@ func NewRun(opt scenario.Options, approach Approach, cbrInterval time.Duration, 
 	// multicast routers in Figure 1).
 	for _, name := range scenario.RouterNames() {
 		router := f.Routers[name]
-		for _, ha := range router.HAs {
+		for _, ha := range router.HomeAgents() {
 			r.HAServices = append(r.HAServices, core.NewHAService(ha, router.PIM, nil, opt.MLD))
 		}
 	}

@@ -66,8 +66,8 @@ func newRig(seed int64, approach core.Approach) *rig {
 	r := &rig{f: f, svc: map[string]*core.Service{}, hsvc: map[string]*core.HAService{}}
 	for _, name := range scenario.RouterNames() {
 		router := f.Routers[name]
-		for ln, ha := range router.HAs {
-			r.hsvc[ln] = core.NewHAService(ha, router.PIM, nil, opt.MLD)
+		for _, ln := range router.HALinks() {
+			r.hsvc[ln] = core.NewHAService(router.HAs[ln], router.PIM, nil, opt.MLD)
 		}
 	}
 	for _, name := range scenario.HostNames() {

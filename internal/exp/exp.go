@@ -17,8 +17,10 @@ import (
 	"sync"
 
 	"mip6mcast/internal/metrics"
+	"mip6mcast/internal/obs"
 	"mip6mcast/internal/scenario"
 	"mip6mcast/internal/sim"
+	"time"
 )
 
 // Kind types an experiment parameter.
@@ -101,6 +103,18 @@ type Context struct {
 	Replicates int
 	// Workers bounds timeline parallelism; <= 0 selects GOMAXPROCS.
 	Workers int
+
+	// Progress, when non-nil, receives one CellStats per completed
+	// timeline cell. The engine serializes calls, so reporters need no
+	// locking; delivery order follows completion order, which depends on
+	// the worker schedule (measurements themselves stay deterministic).
+	Progress func(CellStats)
+	// Recorder, when non-nil, supplies the observability recorder for one
+	// (point, replicate) cell before its timeline is built; return nil to
+	// skip recording that cell. Called from parallel workers — the factory
+	// must be safe for concurrent use, and each returned recorder belongs
+	// to exactly one timeline.
+	Recorder func(point, replicate int) *obs.Recorder
 }
 
 func (c Context) replicates() int {
@@ -296,9 +310,22 @@ func Run(name string, ctx Context, p Params) (Result, error) {
 // budget. It is the non-sweep counterpart of Sweep: experiments with a
 // fixed small set of variants (the four approaches, tunnel vs local) use
 // it to occupy idle cores while staying deterministic — body i must
-// depend only on i.
-func ForEach(ctx Context, n int, body func(i int)) {
-	sim.RunParallel(n, ctx.Workers, body)
+// depend only on (opt, i). opt is the context's base options with the
+// per-variant observability hooks (Recorder, progress capture) already
+// wired in; bodies must build their networks from it for those hooks to
+// take effect.
+func ForEach(ctx Context, n int, body func(opt scenario.Options, i int)) {
+	sim.RunParallel(n, ctx.Workers, func(i int) {
+		opt := ctx.Opt
+		var scheds []*sim.Scheduler
+		ctx.prepareCell(&opt, i, 0, &scheds)
+		var start time.Time
+		if ctx.Progress != nil {
+			start = time.Now()
+		}
+		body(opt, i)
+		ctx.reportCell(i, 0, "", time.Since(start), scheds)
+	})
 }
 
 // SortedParamNames returns a schema's parameter names sorted (for stable

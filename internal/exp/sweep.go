@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"time"
 
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/scenario"
@@ -81,7 +82,14 @@ func Sweep(ctx Context, spec SweepSpec) []PointStats {
 		pt, rep := i/reps, i%reps
 		opt := ctx.Opt
 		opt.Seed = DeriveSeed(ctx.Opt.Seed, rep)
+		var scheds []*sim.Scheduler
+		ctx.prepareCell(&opt, pt, rep, &scheds)
+		var start time.Time
+		if ctx.Progress != nil {
+			start = time.Now()
+		}
 		vals, raw := spec.Run(opt, pt)
+		ctx.reportCell(pt, rep, spec.Points[pt], time.Since(start), scheds)
 		cells[i] = cell{vals: vals, raw: raw}
 	})
 

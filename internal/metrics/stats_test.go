@@ -10,6 +10,9 @@ func TestStatsEmpty(t *testing.T) {
 	if s.N() != 0 || s.Mean() != 0 || s.Stddev() != 0 || s.CI95() != 0 {
 		t.Fatalf("zero value not neutral: %+v", s)
 	}
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("empty min/max = %v/%v, want 0/0", s.Min(), s.Max())
+	}
 }
 
 func TestStatsSingleSample(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/netem"
+	"mip6mcast/internal/obs"
 	"mip6mcast/internal/sim"
 )
 
@@ -87,6 +88,8 @@ type HomeAgent struct {
 
 	// OnBinding observes cache changes. May be nil.
 	OnBinding func(BindingEvent)
+	// Obs, when non-nil, records per-home-address binding-cache state.
+	Obs *obs.Recorder
 	// OnDetunneled, when set, sees every validated detunneled inner packet
 	// before default handling; returning true consumes it. The core
 	// package uses it to terminate tunneled MLD Reports at a PIM-capable
@@ -122,6 +125,18 @@ func NewHomeAgent(node *netem.Node, homeIface *netem.Interface, address ipv6.Add
 	return ha
 }
 
+// AttachRecorder starts feeding binding-cache transitions to rec and
+// records current bindings as a baseline (sorted by home address).
+func (ha *HomeAgent) AttachRecorder(rec *obs.Recorder) {
+	ha.Obs = rec
+	if rec == nil {
+		return
+	}
+	for _, b := range ha.Bindings() {
+		rec.State(ha.Node.Name, "ha "+b.Home.String(), "bound", "careof="+b.CareOf.String())
+	}
+}
+
 // Bindings returns the current cache entries sorted by home address.
 func (ha *HomeAgent) Bindings() []*Binding {
 	out := make([]*Binding, 0, len(ha.bindings))
@@ -150,6 +165,9 @@ func (ha *HomeAgent) handleOption(rx netem.RxPacket, opt ipv6.Option) bool {
 	if err != nil || !bu.HomeReg {
 		return true
 	}
+	s := ha.Node.Sched()
+	prevTag := s.PushTag("mip")
+	defer s.PopTag(prevTag)
 	ha.BindingUpdates++
 
 	// Home address: from the Home Address option if present, else source.
@@ -220,6 +238,9 @@ func (ha *HomeAgent) upsertBinding(home, careOf ipv6.Addr, seq uint16, groups []
 	if groups != nil {
 		b.Groups = append([]ipv6.Addr(nil), groups...)
 	}
+	if ha.Obs != nil {
+		ha.Obs.State(ha.Node.Name, "ha "+home.String(), "bound", "careof="+careOf.String())
+	}
 	b.expiry.Reset(lifetime)
 	if ha.Config.RequestRefresh {
 		at := ha.Config.RequestRefreshAt
@@ -245,6 +266,9 @@ func (ha *HomeAgent) sendBindingRequest(home ipv6.Addr) {
 	}
 	if ha.Node.Output(pkt) == nil {
 		ha.BindingRequestsSent++
+		if ha.Obs != nil {
+			ha.Obs.Instant(ha.Node.Name, "ha "+home.String(), "breq-sent", "")
+		}
 	}
 }
 
@@ -271,6 +295,9 @@ func (ha *HomeAgent) removeBinding(home ipv6.Addr) {
 	}
 	delete(ha.bindings, home)
 	ha.HomeIface.RemoveProxy(home)
+	if ha.Obs != nil {
+		ha.Obs.State(ha.Node.Name, "ha "+home.String(), "absent", "")
+	}
 	ha.notify(b, false)
 }
 

@@ -14,6 +14,7 @@ import (
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/ndp"
 	"mip6mcast/internal/netem"
+	"mip6mcast/internal/obs"
 	"mip6mcast/internal/sim"
 )
 
@@ -66,6 +67,9 @@ type MobileNode struct {
 
 	// OnMove is invoked on movement detection and registration completion.
 	OnMove func(MoveEvent)
+	// Obs, when non-nil, records the binding-lifecycle state machine
+	// (home / away-unregistered / away-registered) and handover instants.
+	Obs *obs.Recorder
 	// OnDecap observes every (outer, inner) pair the node decapsulates —
 	// metrics use the outer hop count to measure tunnel path stretch.
 	OnDecap func(outer, inner *ipv6.Packet)
@@ -104,6 +108,8 @@ func NewMobileNode(node *netem.Node, iid uint64, cfg MNConfig) *MobileNode {
 	node.HandleProto(ipv6.ProtoIPv6, mn.handleTunnel)
 	node.HandleOptions(mn.handleOption)
 	s := node.Sched()
+	prev := s.PushTag("mip")
+	defer s.PopTag(prev)
 	mn.ackWait = sim.NewTimer(s, func() { mn.sendBindingUpdate() })
 	mn.refresh = sim.NewTicker(s, cfg.BindingLifetime/2, cfg.BindingLifetime/8, func() {
 		if !mn.atHome && !mn.Config.DisableProactiveRefresh {
@@ -123,11 +129,38 @@ func (mn *MobileNode) CareOf() ipv6.Addr { return mn.careOf }
 // acknowledged by the home agent.
 func (mn *MobileNode) Registered() bool { return mn.atHome || mn.registered }
 
+// obsBindingTrack is the binding-lifecycle track name.
+const obsBindingTrack = "mip binding"
+
+// AttachRecorder starts feeding binding-lifecycle transitions to rec and
+// records the node's current attachment state as a baseline.
+func (mn *MobileNode) AttachRecorder(rec *obs.Recorder) {
+	mn.Obs = rec
+	if rec == nil {
+		return
+	}
+	state, detail := "home", ""
+	if !mn.atHome {
+		state = "away-unregistered"
+		if mn.registered {
+			state = "away-registered"
+		}
+		detail = "careof=" + mn.careOf.String()
+	}
+	rec.State(mn.Node.Name, obsBindingTrack, state, detail)
+}
+
 func (mn *MobileNode) onPrefix(ev ndp.PrefixEvent) {
+	s := mn.Node.Sched()
+	prevTag := s.PushTag("mip")
+	defer s.PopTag(prevTag)
 	wasHome := mn.atHome
 	mn.atHome = ev.Prefix == mn.Config.HomePrefix
 	if ev.Moved {
 		mn.MovesDetected++
+		if mn.Obs != nil {
+			mn.Obs.Instant(mn.Node.Name, obsBindingTrack, "move-detected", "prefix="+ev.Prefix.String())
+		}
 	}
 	switch {
 	case mn.atHome && !wasHome:
@@ -135,12 +168,19 @@ func (mn *MobileNode) onPrefix(ev ndp.PrefixEvent) {
 		// address again, not a logical one.
 		mn.careOf = ipv6.Addr{}
 		mn.registered = false
+		if mn.Obs != nil {
+			mn.Obs.State(mn.Node.Name, obsBindingTrack, "home", "")
+			mn.Obs.Instant(mn.Node.Name, obsBindingTrack, "dereg-sent", "")
+		}
 		mn.Node.RemoveLogicalAddr(mn.HomeAddress)
 		mn.sendDeregistration()
 		mn.notify()
 	case !mn.atHome:
 		mn.careOf = ev.Addr
 		mn.registered = false
+		if mn.Obs != nil {
+			mn.Obs.State(mn.Node.Name, obsBindingTrack, "away-unregistered", "careof="+mn.careOf.String())
+		}
 		// Accept routing-header deliveries to the home address without
 		// claiming it on the foreign link.
 		mn.Node.AddLogicalAddr(mn.HomeAddress)
@@ -208,6 +248,9 @@ func (mn *MobileNode) sendBindingUpdate() {
 	}
 	_ = mn.Node.Output(pkt)
 	mn.BindingUpdatesSent++
+	if mn.Obs != nil {
+		mn.Obs.Instant(mn.Node.Name, obsBindingTrack, "bu-sent", "")
+	}
 	mn.ackWait.Reset(mn.Config.RetransmitInterval)
 }
 
@@ -226,6 +269,9 @@ func (mn *MobileNode) sendDeregistration() {
 // handleOption processes Binding Acknowledgements and Binding Requests
 // addressed to us.
 func (mn *MobileNode) handleOption(rx netem.RxPacket, opt ipv6.Option) bool {
+	s := mn.Node.Sched()
+	prevTag := s.PushTag("mip")
+	defer s.PopTag(prevTag)
 	if opt.Type == ipv6.OptBindingReq {
 		if _, err := ipv6.ParseBindingRequest(opt); err == nil && !mn.atHome {
 			mn.sendBindingUpdate()
@@ -248,6 +294,10 @@ func (mn *MobileNode) handleOption(rx netem.RxPacket, opt ipv6.Option) bool {
 		was := mn.registered
 		mn.registered = true
 		if !was {
+			if mn.Obs != nil {
+				mn.Obs.Instant(mn.Node.Name, obsBindingTrack, "back-heard", "")
+				mn.Obs.State(mn.Node.Name, obsBindingTrack, "away-registered", "careof="+mn.careOf.String())
+			}
 			mn.notify()
 		}
 	}

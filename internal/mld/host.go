@@ -6,6 +6,7 @@ import (
 	"mip6mcast/internal/icmpv6"
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/netem"
+	"mip6mcast/internal/obs"
 	"mip6mcast/internal/sim"
 )
 
@@ -31,6 +32,8 @@ func DefaultHostConfig() HostConfig {
 type Host struct {
 	Node   *netem.Node
 	Config HostConfig
+	// Obs, when non-nil, records membership instants (join/leave/report).
+	Obs *obs.Recorder
 
 	members map[memberKey]*memberState
 
@@ -72,10 +75,19 @@ func (h *Host) Join(ifc *netem.Interface, group ipv6.Addr) {
 	ifc.JoinGroup(group)
 	m := &memberState{h: h, key: key}
 	s := h.Node.Sched()
+	prev := s.PushTag("mld")
+	defer s.PopTag(prev)
 	m.delay = sim.NewTimer(s, func() { m.respond() })
 	m.unsolicited = sim.NewTimer(s, func() { m.unsolicitedRound() })
 	h.members[key] = m
+	if h.Obs != nil {
+		h.Obs.Instant(h.Node.Name, h.obsTrack(group), "join", "")
+	}
 	m.startUnsolicited()
+}
+
+func (h *Host) obsTrack(group ipv6.Addr) string {
+	return "mld member " + group.String()
 }
 
 // Leave unsubscribes. If this node was the last to report the group on this
@@ -90,6 +102,9 @@ func (h *Host) Leave(ifc *netem.Interface, group ipv6.Addr) {
 	m.unsolicited.Stop()
 	delete(h.members, key)
 	ifc.LeaveGroup(group)
+	if h.Obs != nil {
+		h.Obs.Instant(h.Node.Name, h.obsTrack(group), "leave", "")
+	}
 	if m.lastReporter {
 		h.sendDone(ifc, group)
 	}
@@ -109,6 +124,9 @@ func (h *Host) LeaveSilently(ifc *netem.Interface, group ipv6.Addr) {
 	m.unsolicited.Stop()
 	delete(h.members, key)
 	ifc.LeaveGroup(group)
+	if h.Obs != nil {
+		h.Obs.Instant(h.Node.Name, h.obsTrack(group), "leave-silent", "")
+	}
 }
 
 // Member reports whether the node is subscribed to group on ifc.
@@ -125,6 +143,9 @@ func (h *Host) onMove(ifc *netem.Interface) {
 	if !h.Config.ResendOnMove {
 		return
 	}
+	s := h.Node.Sched()
+	prev := s.PushTag("mld")
+	defer s.PopTag(prev)
 	for key, m := range h.members {
 		if key.ifc == ifc {
 			m.startUnsolicited()
@@ -164,6 +185,9 @@ func (h *Host) sendReport(ifc *netem.Interface, group ipv6.Addr) {
 	pkt := mldPacket(src, group, icmpv6.Marshal(src, group, rep))
 	_ = h.Node.OutputOn(ifc, pkt)
 	h.ReportsSent++
+	if h.Obs != nil {
+		h.Obs.Instant(h.Node.Name, h.obsTrack(group), "report-sent", "")
+	}
 }
 
 func (h *Host) sendDone(ifc *netem.Interface, group ipv6.Addr) {
@@ -175,12 +199,18 @@ func (h *Host) sendDone(ifc *netem.Interface, group ipv6.Addr) {
 	pkt := mldPacket(src, ipv6.AllRouters, icmpv6.Marshal(src, ipv6.AllRouters, done))
 	_ = h.Node.OutputOn(ifc, pkt)
 	h.DonesSent++
+	if h.Obs != nil {
+		h.Obs.Instant(h.Node.Name, h.obsTrack(group), "done-sent", "")
+	}
 }
 
 func (h *Host) handleICMP(rx netem.RxPacket) {
 	if rx.ViaTunnel {
 		return // tunneled MLD is handled by the Mobile IPv6 layer, not here
 	}
+	s := h.Node.Sched()
+	prev := s.PushTag("mld")
+	defer s.PopTag(prev)
 	msg, err := icmpv6.Parse(rx.Pkt.Hdr.Src, rx.Pkt.Hdr.Dst, rx.Pkt.Payload)
 	if err != nil {
 		return

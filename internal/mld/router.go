@@ -7,6 +7,7 @@ import (
 	"mip6mcast/internal/icmpv6"
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/netem"
+	"mip6mcast/internal/obs"
 	"mip6mcast/internal/sim"
 )
 
@@ -28,6 +29,8 @@ type Router struct {
 	// OnListenerChange feeds membership transitions to PIM-DM (or any
 	// other consumer). May be nil.
 	OnListenerChange func(ListenerEvent)
+	// Obs, when non-nil, records listener and querier state transitions.
+	Obs *obs.Recorder
 
 	state map[*netem.Interface]*routerIfaceState
 
@@ -80,11 +83,53 @@ func (r *Router) startIface(ifc *netem.Interface) {
 	}
 	r.state[ifc] = st
 	s := r.Node.Sched()
+	prev := s.PushTag("mld")
 	st.otherQuerier = sim.NewTimer(s, func() { st.becomeQuerier() })
 	st.queryTicker = sim.NewTicker(s, r.Config.StartupQueryInterval, 0, func() { st.periodicQuery() })
 	// First query right away (with a small deterministic-random jitter so
 	// co-started routers don't collide artificially).
 	s.Schedule(time.Duration(s.Rand().Int63n(int64(100*time.Millisecond))), func() { st.periodicQuery() })
+	s.PopTag(prev)
+}
+
+// AttachRecorder starts feeding listener/querier transitions to rec and
+// records each interface's current querier state and listener records as a
+// baseline (interfaces in attachment order, groups sorted).
+func (r *Router) AttachRecorder(rec *obs.Recorder) {
+	r.Obs = rec
+	if rec == nil {
+		return
+	}
+	for _, ifc := range r.Node.Ifaces {
+		st, ok := r.state[ifc]
+		if !ok {
+			continue
+		}
+		q := "non-querier"
+		if st.querier {
+			q = "querier"
+		}
+		rec.State(r.Node.Name, st.obsQuerierTrack(), q, "")
+		for _, g := range r.Groups(ifc) {
+			rec.State(r.Node.Name, st.obsGroupTrack(g), "listeners", "")
+		}
+	}
+}
+
+func (st *routerIfaceState) obsQuerierTrack() string {
+	name := "?"
+	if st.ifc.Link != nil {
+		name = st.ifc.Link.Name
+	}
+	return "mld " + name + " querier"
+}
+
+func (st *routerIfaceState) obsGroupTrack(group ipv6.Addr) string {
+	name := "?"
+	if st.ifc.Link != nil {
+		name = st.ifc.Link.Name
+	}
+	return "mld " + name + " " + group.String()
 }
 
 func (st *routerIfaceState) periodicQuery() {
@@ -124,6 +169,9 @@ func (st *routerIfaceState) sendSpecificQuery(group ipv6.Addr) {
 
 func (st *routerIfaceState) becomeQuerier() {
 	st.querier = true
+	if st.r.Obs != nil {
+		st.r.Obs.State(st.r.Node.Name, st.obsQuerierTrack(), "querier", "")
+	}
 	st.queryTicker.SetPeriod(st.r.Config.QueryInterval)
 	st.sendGeneralQuery()
 }
@@ -133,6 +181,9 @@ func (r *Router) handleICMP(rx netem.RxPacket) {
 	if !ok {
 		return
 	}
+	s := r.Node.Sched()
+	prev := s.PushTag("mld")
+	defer s.PopTag(prev)
 	if r.Config.RequireRouterAlert {
 		if _, has := ipv6.FindOption(rx.Pkt.HopByHop, ipv6.OptRouterAlert); !has {
 			return
@@ -162,6 +213,9 @@ func (r *Router) handleICMP(rx netem.RxPacket) {
 // lower link-local source demotes us (§5 bullet 1).
 func (st *routerIfaceState) onQueryHeard(src ipv6.Addr, m *icmpv6.MLD) {
 	if src.Less(st.ifc.LinkLocal()) {
+		if st.querier && st.r.Obs != nil {
+			st.r.Obs.State(st.r.Node.Name, st.obsQuerierTrack(), "non-querier", "querier="+src.String())
+		}
 		st.querier = false
 		st.otherQuerier.Reset(st.r.Config.OtherQuerierPresentInterval())
 	}
@@ -216,6 +270,9 @@ func (st *routerIfaceState) lastListenerRound(group ipv6.Addr) {
 		return
 	}
 	rec.specificQueriesLeft--
+	if st.r.Obs != nil {
+		st.r.Obs.Instant(st.r.Node.Name, st.obsGroupTrack(group), "specific-query", "")
+	}
 	st.sendSpecificQuery(group)
 	if rec.specificQueriesLeft > 0 {
 		rec.retransmit.Reset(st.r.Config.LastListenerQueryInterval)
@@ -232,6 +289,13 @@ func (st *routerIfaceState) expire(group ipv6.Addr) {
 }
 
 func (st *routerIfaceState) notify(group ipv6.Addr, present bool) {
+	if st.r.Obs != nil {
+		state := "no-listeners"
+		if present {
+			state = "listeners"
+		}
+		st.r.Obs.State(st.r.Node.Name, st.obsGroupTrack(group), state, "")
+	}
 	if st.r.OnListenerChange != nil {
 		st.r.OnListenerChange(ListenerEvent{Iface: st.ifc, Group: group, Present: present})
 	}

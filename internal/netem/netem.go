@@ -152,6 +152,10 @@ func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) {
 	l.busyUntil = start.Add(txTime)
 	arrive := l.busyUntil.Add(l.Delay)
 
+	// Delivery events carry the "link" handler tag: wall time spent
+	// receiving and dispatching frames is attributed to the wire, while
+	// timers armed by protocol handlers retag themselves (see sim.PushTag).
+	prevTag := s.PushTag("link")
 	for _, ifc := range l.Ifaces {
 		if ifc == from || !ifc.up {
 			continue
@@ -171,6 +175,7 @@ func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) {
 			}
 		})
 	}
+	s.PopTag(prevTag)
 }
 
 // Attach connects iface to this link (used by Node.AddInterface and by

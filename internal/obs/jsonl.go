@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonlRecord fixes the JSONL field order. encoding/json emits struct
+// fields in declaration order, so output bytes are a pure function of the
+// event stream — the property the cross-worker determinism tests assert.
+type jsonlRecord struct {
+	T      int64   `json:"t_ns"`
+	Seq    uint64  `json:"seq"`
+	Cat    string  `json:"cat"`
+	Node   string  `json:"node"`
+	Track  string  `json:"track"`
+	Name   string  `json:"name,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// WriteJSONL writes events one JSON object per line, in emission order.
+// Output is deterministic: field order is fixed and timestamps are integer
+// nanoseconds of virtual time (wall time never appears).
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		e := &events[i]
+		rec := jsonlRecord{
+			T:      int64(e.At),
+			Seq:    e.Seq,
+			Cat:    e.Cat.String(),
+			Node:   e.Node,
+			Track:  e.Track,
+			Name:   e.Name,
+			Value:  e.Value,
+			Detail: e.Detail,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL exports the recorder's stream; see the package function.
+// Nil-safe (writes nothing).
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return WriteJSONL(w, r.events)
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/sim"
+)
+
+func fillRecorder(r *Recorder, s *sim.Scheduler) {
+	s.Schedule(0, func() { r.State("A", "pim up", "forwarding", "") })
+	s.Schedule(time.Second, func() { r.Instant("A", "pim up", "prune-sent", "iface L1") })
+	s.Schedule(2*time.Second, func() { r.State("A", "pim up", "pruned", "") })
+	s.Schedule(3*time.Second, func() { r.Counter("net", "queue", 42) })
+	s.Schedule(4*time.Second, func() { r.State("B", "mip binding", "away-registered", "careof=x") })
+}
+
+func TestRecorderStampsAndOrders(t *testing.T) {
+	s := sim.NewScheduler(1)
+	r := NewRecorder(s)
+	fillRecorder(r, s)
+	s.Run()
+
+	ev := r.Events()
+	if len(ev) != 5 || r.Len() != 5 {
+		t.Fatalf("recorded %d events, want 5", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if ev[1].At != sim.Time(time.Second) || ev[1].Cat != CatInstant || ev[1].Detail != "iface L1" {
+		t.Errorf("instant event wrong: %+v", ev[1])
+	}
+	if ev[3].Cat != CatCounter || ev[3].Value != 42 {
+		t.Errorf("counter event wrong: %+v", ev[3])
+	}
+	if got := r.End(); got != sim.Time(4*time.Second) {
+		t.Errorf("end = %v, want 4s", got)
+	}
+}
+
+// A recorder can be created before its timeline exists and bound later —
+// the experiment engine hands recorders to cells before networks build.
+func TestRecorderBindLate(t *testing.T) {
+	r := NewRecorder(nil)
+	r.State("A", "t", "early", "") // unbound: stamped at 0
+	s := sim.NewScheduler(1)
+	r.Bind(s)
+	s.Schedule(time.Second, func() { r.State("A", "t", "late", "") })
+	s.Run()
+	ev := r.Events()
+	if ev[0].At != 0 || ev[1].At != sim.Time(time.Second) {
+		t.Errorf("stamps = %v, %v", ev[0].At, ev[1].At)
+	}
+}
+
+// Every method must tolerate a nil receiver: engines call through their
+// Obs field unconditionally in a few cold paths.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Bind(sim.NewScheduler(1))
+	r.State("n", "t", "s", "d")
+	r.Instant("n", "t", "i", "d")
+	r.Counter("n", "t", 1)
+	if r.Len() != 0 || r.Events() != nil || r.End() != 0 {
+		t.Fatal("nil recorder not neutral")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil JSONL wrote %q", buf.String())
+	}
+	buf.Reset()
+	if err := r.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil perfetto output not JSON: %v", err)
+	}
+}
+
+// The disabled-observability contract: calling hooks through a nil
+// recorder allocates nothing. Engine emission sites are additionally
+// guarded by a nil check before any string concatenation, so this bounds
+// the cost of the unguarded (cold-path) calls too.
+func TestNilRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.State("A", "pim up", "forwarding", "")
+		r.Instant("A", "pim up", "graft-sent", "")
+		r.Counter("net", "queue", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder hooks allocate %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilRecorderHooks(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.State("A", "pim up", "forwarding", "")
+		r.Instant("A", "pim up", "graft-sent", "")
+		r.Counter("net", "queue", 1)
+	}
+}
+
+func recordOnce(t *testing.T) []byte {
+	t.Helper()
+	s := sim.NewScheduler(7)
+	r := NewRecorder(s)
+	fillRecorder(r, s)
+	s.Run()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteJSONLDeterministicAndParsable(t *testing.T) {
+	a, b := recordOnce(t), recordOnce(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical recordings produced different JSONL bytes")
+	}
+	lines := strings.Split(strings.TrimRight(string(a), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5", len(lines))
+	}
+	var first struct {
+		T    int64   `json:"t_ns"`
+		Seq  *uint64 `json:"seq"`
+		Cat  string  `json:"cat"`
+		Node string  `json:"node"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Seq == nil || first.Cat != "state" || first.Node != "A" {
+		t.Errorf("first line decoded wrong: %s", lines[0])
+	}
+	// Field order is part of the byte-determinism contract.
+	if !strings.HasPrefix(lines[0], `{"t_ns":`) {
+		t.Errorf("line does not lead with t_ns: %s", lines[0])
+	}
+}
+
+func TestWritePerfettoStructure(t *testing.T) {
+	s := sim.NewScheduler(7)
+	r := NewRecorder(s)
+	fillRecorder(r, s)
+	s.Run()
+
+	var buf1, buf2 bytes.Buffer
+	if err := r.WritePerfetto(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePerfetto(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("perfetto export is not deterministic")
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf1.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	procs := map[string]int{}
+	threads := map[string]bool{}
+	var slices, instants, counters int
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "process_name":
+			procs[e.Args["name"].(string)] = e.Pid
+		case e.Ph == "M" && e.Name == "thread_name":
+			threads[e.Args["name"].(string)] = true
+		case e.Ph == "X":
+			slices++
+			if e.Dur == nil {
+				t.Errorf("state slice %q has no duration", e.Name)
+			}
+		case e.Ph == "i":
+			instants++
+		case e.Ph == "C":
+			counters++
+		}
+	}
+	for _, n := range []string{"A", "B", "net"} {
+		if _, ok := procs[n]; !ok {
+			t.Errorf("missing process %q (have %v)", n, procs)
+		}
+	}
+	for _, tr := range []string{"pim up", "mip binding", "queue"} {
+		if !threads[tr] {
+			t.Errorf("missing thread track %q", tr)
+		}
+	}
+	// forwarding→pruned on "pim up" plus the still-open pruned and
+	// away-registered slices closed at End: 3 slices total.
+	if slices != 3 || instants != 1 || counters != 1 {
+		t.Errorf("slices/instants/counters = %d/%d/%d, want 3/1/1", slices, instants, counters)
+	}
+	// The forwarding slice must span exactly to the pruned transition (2 s
+	// = 2e6 us).
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "forwarding" {
+			if e.Dur == nil || *e.Dur != 2e6 {
+				t.Errorf("forwarding slice dur = %v, want 2e6", e.Dur)
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// The Chrome trace-event format (the JSON flavor Perfetto and
+// chrome://tracing load): a flat array of events where pid/tid pairs name
+// process and thread tracks. We map each simulation node to a process and
+// each of its tracks to a thread, so Perfetto renders one group per node
+// with its state machines, instant streams and counters as rows.
+//
+// State transitions become complete slices ("X"): each state's slice spans
+// from its transition to the track's next transition (the final state is
+// closed at the recording's end). Instants become "i" events, counters "C".
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds of virtual time
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+func usec(t int64) float64 { return float64(t) / 1e3 }
+
+// WritePerfetto writes events as a Chrome trace-event JSON document that
+// Perfetto's UI (ui.perfetto.dev) opens directly. end closes state slices
+// still open when recording stopped. Output is deterministic: processes,
+// threads and events are emitted in sorted order and timestamps carry only
+// virtual time.
+func WritePerfetto(w io.Writer, events []Event, end int64) error {
+	// Assign pids to nodes and tids to tracks, both in sorted-name order so
+	// the document is stable for a given event stream.
+	nodeSet := map[string]bool{}
+	trackSet := map[[2]string]bool{}
+	for i := range events {
+		e := &events[i]
+		nodeSet[e.Node] = true
+		trackSet[[2]string{e.Node, e.Track}] = true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	pid := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		pid[n] = i + 1
+	}
+	tracks := make([][2]string, 0, len(trackSet))
+	for t := range trackSet {
+		tracks = append(tracks, t)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i][0] != tracks[j][0] {
+			return tracks[i][0] < tracks[j][0]
+		}
+		return tracks[i][1] < tracks[j][1]
+	})
+	tid := make(map[[2]string]int, len(tracks))
+	next := map[string]int{}
+	for _, t := range tracks {
+		next[t[0]]++
+		tid[t] = next[t[0]]
+	}
+
+	out := make([]perfettoEvent, 0, 2*len(events)+len(nodes)+len(tracks))
+	for _, n := range nodes {
+		out = append(out, perfettoEvent{
+			Name: "process_name", Ph: "M", Pid: pid[n], Tid: 0,
+			Args: map[string]any{"name": n},
+		})
+	}
+	for _, t := range tracks {
+		out = append(out, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: pid[t[0]], Tid: tid[t],
+			Args: map[string]any{"name": t[1]},
+		})
+	}
+
+	// One pass per track keeps slice-closing logic local; tracks are few.
+	for _, t := range tracks {
+		p, th := pid[t[0]], tid[t]
+		openIdx := -1 // index into out of a state slice awaiting its close time
+		closeOpen := func(at int64) {
+			if openIdx < 0 {
+				return
+			}
+			d := usec(at) - out[openIdx].Ts
+			if d < 0 {
+				d = 0
+			}
+			out[openIdx].Dur = &d
+			openIdx = -1
+		}
+		for i := range events {
+			e := &events[i]
+			if e.Node != t[0] || e.Track != t[1] {
+				continue
+			}
+			switch e.Cat {
+			case CatState:
+				closeOpen(int64(e.At))
+				args := map[string]any{}
+				if e.Detail != "" {
+					args["detail"] = e.Detail
+				}
+				out = append(out, perfettoEvent{
+					Name: e.Name, Ph: "X", Ts: usec(int64(e.At)), Pid: p, Tid: th, Args: args,
+				})
+				openIdx = len(out) - 1
+			case CatInstant:
+				args := map[string]any{}
+				if e.Detail != "" {
+					args["detail"] = e.Detail
+				}
+				out = append(out, perfettoEvent{
+					Name: e.Name, Ph: "i", Ts: usec(int64(e.At)), Pid: p, Tid: th, S: "t", Args: args,
+				})
+			case CatCounter:
+				out = append(out, perfettoEvent{
+					Name: t[1], Ph: "C", Ts: usec(int64(e.At)), Pid: p, Tid: th,
+					Args: map[string]any{"value": e.Value},
+				})
+			}
+		}
+		closeOpen(end)
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(perfettoFile{TraceEvents: out, DisplayTimeUnit: "ms"}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePerfetto exports the recorder's stream, closing open state slices
+// at the recorder's End time. Nil-safe (writes an empty document).
+func (r *Recorder) WritePerfetto(w io.Writer) error {
+	if r == nil {
+		return WritePerfetto(w, nil, 0)
+	}
+	return WritePerfetto(w, r.events, int64(r.End()))
+}

@@ -6,6 +6,7 @@ import (
 
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/netem"
+	"mip6mcast/internal/obs"
 	"mip6mcast/internal/sim"
 )
 
@@ -105,6 +106,11 @@ type Engine struct {
 	Routing UnicastRouting
 	Stats   Stats
 
+	// Obs, when non-nil, receives per-(S,G,interface) state-machine
+	// transitions and protocol instants. Every emission site is guarded by
+	// a nil check, so an unattached engine pays only an untaken branch.
+	Obs *obs.Recorder
+
 	// MetricPreference is this router's administrative distance advertised
 	// in Asserts (default 101, as for a unicast IGP route).
 	MetricPreference uint32
@@ -179,11 +185,65 @@ func New(node *netem.Node, cfg Config, routing UnicastRouting) *Engine {
 	}
 	node.Forwarder = e
 	node.HandleProto(ipv6.ProtoPIM, e.handlePIM)
+	s := node.Sched()
+	prev := s.PushTag("pim")
 	for _, ifc := range node.Ifaces {
 		e.startIface(ifc)
 	}
+	s.PopTag(prev)
 	node.OnAttach(func(ifc *netem.Interface) { e.startIface(ifc) })
 	return e
+}
+
+// AttachRecorder starts feeding state-machine transitions to rec and
+// records the current state of any pre-existing (S,G) entries (sorted, so
+// the emitted baseline is deterministic).
+func (e *Engine) AttachRecorder(rec *obs.Recorder) {
+	e.Obs = rec
+	if rec == nil {
+		return
+	}
+	for _, info := range e.Entries() {
+		ent := e.entries[sgKey{info.Source, info.Group}]
+		up := "forwarding"
+		if ent.graftPending {
+			up = "graft-pending"
+		} else if ent.prunedUpstream {
+			up = "pruned"
+		}
+		rec.State(e.Node.Name, ent.obsUpTrack(), up, "")
+		for _, ifc := range e.Node.Ifaces {
+			ds := ent.downstream[ifc]
+			if ds == nil {
+				continue
+			}
+			st := "forwarding"
+			switch {
+			case ds.assertLoser:
+				st = "assert-loser"
+			case ds.pruned:
+				st = "pruned"
+			case ds.pruneDelay != nil && ds.pruneDelay.Running():
+				st = "prune-pending"
+			}
+			rec.State(e.Node.Name, ent.obsDownTrack(ifc), st, "")
+		}
+	}
+}
+
+// Observability track names: one "up" track per (S,G) for the upstream
+// state machine, one track per (S,G, downstream link).
+
+func (ent *sgEntry) obsUpTrack() string {
+	return "pim " + ent.key.src.String() + ">" + ent.key.group.String() + " up"
+}
+
+func (ent *sgEntry) obsDownTrack(ifc *netem.Interface) string {
+	name := "?"
+	if ifc.Link != nil {
+		name = ifc.Link.Name
+	}
+	return "pim " + ent.key.src.String() + ">" + ent.key.group.String() + " " + name
 }
 
 func (e *Engine) startIface(ifc *netem.Interface) {
@@ -231,6 +291,9 @@ func (e *Engine) handlePIM(rx netem.RxPacket) {
 	if err != nil {
 		return
 	}
+	s := e.Node.Sched()
+	prev := s.PushTag("pim")
+	defer s.PopTag(prev)
 	switch m := msg.(type) {
 	case *Hello:
 		e.onHello(rx.Iface, rx.Pkt.Hdr.Src, m)
@@ -287,6 +350,9 @@ func (e *Engine) NeighborCount(ifc *netem.Interface) int { return len(e.neighbor
 // HandleListenerChange feeds MLD listener transitions into the engine (wire
 // mld.Router.OnListenerChange to this).
 func (e *Engine) HandleListenerChange(ifc *netem.Interface, group ipv6.Addr, present bool) {
+	s := e.Node.Sched()
+	prev := s.PushTag("pim")
+	defer s.PopTag(prev)
 	if present {
 		e.addMember(group, ifc)
 	} else {
@@ -370,6 +436,9 @@ func (e *Engine) getOrCreate(src, group ipv6.Addr) *sgEntry {
 	if !ok {
 		return nil
 	}
+	sch := e.Node.Sched()
+	prevTag := sch.PushTag("pim")
+	defer sch.PopTag(prevTag)
 	ent := &sgEntry{
 		e:           e,
 		key:         key,
@@ -390,6 +459,21 @@ func (e *Engine) getOrCreate(src, group ipv6.Addr) *sgEntry {
 	e.entries[key] = ent
 	e.Stats.EntriesCreated++
 	e.Stats.FloodsStarted++
+	if e.Obs != nil {
+		up := "direct"
+		if upIfc != nil && upIfc.Link != nil {
+			up = upIfc.Link.Name
+		}
+		e.Obs.Instant(e.Node.Name, ent.obsUpTrack(), "sg-created", "rpf="+up)
+		e.Obs.State(e.Node.Name, ent.obsUpTrack(), "forwarding", "rpf="+up)
+		// Iterate the node's interface list (not the map) so the recorded
+		// order is deterministic.
+		for _, ifc := range e.Node.Ifaces {
+			if ent.downstream[ifc] != nil {
+				e.Obs.State(e.Node.Name, ent.obsDownTrack(ifc), "forwarding", "")
+			}
+		}
+	}
 	ent.startStateRefresh()
 	return ent
 }
@@ -405,6 +489,10 @@ func (e *Engine) deleteEntry(ent *sgEntry) {
 		ds.stopTimers()
 	}
 	delete(e.entries, ent.key)
+	if e.Obs != nil {
+		e.Obs.State(e.Node.Name, ent.obsUpTrack(), "deleted", "")
+		e.Obs.Instant(e.Node.Name, ent.obsUpTrack(), "sg-deleted", "")
+	}
 }
 
 // EntryCount reports live (S,G) state — the storage load the paper
@@ -517,8 +605,12 @@ func (e *Engine) ForwardMulticast(rx netem.RxPacket) {
 
 	forwarded := false
 	if rx.Pkt.Hdr.HopLimit > 1 {
-		for ifc, ds := range ent.downstream {
-			if !ent.shouldForward(ifc, ds) {
+		// Iterate the node's interface slice, not the downstream map:
+		// replication order decides the per-link transmission sequence and
+		// must not vary with map layout (trace reproducibility).
+		for _, ifc := range e.Node.Ifaces {
+			ds := ent.downstream[ifc]
+			if ds == nil || !ent.shouldForward(ifc, ds) {
 				continue
 			}
 			out := rx.Pkt.Clone()
@@ -566,6 +658,12 @@ func (ent *sgEntry) maybeSendPrune() {
 	}
 	e.sendPIM(ent.upstream, ipv6.AllPIMRouters, msg)
 	e.Stats.PrunesSent++
+	if e.Obs != nil {
+		e.Obs.Instant(e.Node.Name, ent.obsUpTrack(), "prune-sent", "")
+		if !ent.prunedUpstream {
+			e.Obs.State(e.Node.Name, ent.obsUpTrack(), "pruned", "")
+		}
+	}
 	ent.prunedUpstream = true
 	ent.hasPruneSent = true
 	ent.lastPruneSent = now
@@ -588,6 +686,9 @@ func (ent *sgEntry) sendGraft() {
 	// acknowledged (§4.6).
 	e.sendPIM(ent.upstream, ent.upstreamNbr, msg)
 	e.Stats.GraftsSent++
+	if e.Obs != nil {
+		e.Obs.Instant(e.Node.Name, ent.obsUpTrack(), "graft-sent", "")
+	}
 	ent.graftTimer.Reset(e.Config.GraftRetry)
 }
 
@@ -607,6 +708,9 @@ func (ent *sgEntry) sendOverrideJoin() {
 	}
 	e.sendPIM(ent.upstream, ipv6.AllPIMRouters, msg)
 	e.Stats.JoinsSent++
+	if e.Obs != nil {
+		e.Obs.Instant(e.Node.Name, ent.obsUpTrack(), "join-sent", "override")
+	}
 }
 
 // reconsiderUpstream grafts or prunes upstream as downstream demand changes.
@@ -615,6 +719,9 @@ func (ent *sgEntry) reconsiderUpstream() {
 		if ent.prunedUpstream && !ent.upstreamNbr.IsUnspecified() {
 			ent.prunedUpstream = false
 			ent.graftPending = true
+			if ent.e.Obs != nil {
+				ent.e.Obs.State(ent.e.Node.Name, ent.obsUpTrack(), "graft-pending", "")
+			}
 			ent.sendGraft()
 		}
 	} else if !ent.prunedUpstream {
@@ -688,6 +795,10 @@ func (e *Engine) onGraftAck(ifc *netem.Interface, m *JoinPrune) {
 	for _, g := range m.Groups {
 		for _, s := range g.Joins {
 			if ent, ok := e.entry(s, g.Group); ok {
+				if ent.graftPending && e.Obs != nil {
+					e.Obs.Instant(e.Node.Name, ent.obsUpTrack(), "graft-ack", "")
+					e.Obs.State(e.Node.Name, ent.obsUpTrack(), "forwarding", "")
+				}
 				ent.graftPending = false
 				ent.graftTimer.Stop()
 			}
@@ -707,11 +818,17 @@ func (ds *downstreamState) startPruneDelay(holdtime time.Duration) {
 	}
 	ds.pendingHoldtime = holdtime
 	ds.pruneDelay.Reset(e.Config.PruneDelay)
+	if e.Obs != nil {
+		e.Obs.State(e.Node.Name, ds.entry.obsDownTrack(ds.ifc), "prune-pending", "")
+	}
 }
 
 func (ds *downstreamState) prune(holdtime time.Duration) {
 	e := ds.entry.e
 	ds.pruned = true
+	if e.Obs != nil {
+		e.Obs.State(e.Node.Name, ds.entry.obsDownTrack(ds.ifc), "pruned", "")
+	}
 	if holdtime <= 0 {
 		holdtime = e.Config.PruneHoldtime
 	}
@@ -745,10 +862,14 @@ func (ds *downstreamState) prune(holdtime time.Duration) {
 // arrived).
 func (ds *downstreamState) unprune() {
 	ds.pruned = false
+	if e := ds.entry.e; e.Obs != nil {
+		e.Obs.State(e.Node.Name, ds.entry.obsDownTrack(ds.ifc), "forwarding", "")
+	}
 	ds.entry.reconsiderUpstream()
 }
 
 func (ds *downstreamState) cancelPrune() {
+	wasPending := ds.pruneDelay != nil && ds.pruneDelay.Running()
 	if ds.pruneDelay != nil {
 		ds.pruneDelay.Stop()
 	}
@@ -757,6 +878,11 @@ func (ds *downstreamState) cancelPrune() {
 			ds.pruneTimer.Stop()
 		}
 		ds.unprune()
+	} else if wasPending {
+		// A Join overrode the pending prune: back to forwarding.
+		if e := ds.entry.e; e.Obs != nil {
+			e.Obs.State(e.Node.Name, ds.entry.obsDownTrack(ds.ifc), "forwarding", "join-override")
+		}
 	}
 }
 
@@ -800,6 +926,9 @@ func (ent *sgEntry) maybeSendAssert(ifc *netem.Interface) {
 		Metric:           metric,
 	})
 	e.Stats.AssertsSent++
+	if e.Obs != nil {
+		e.Obs.Instant(e.Node.Name, ent.obsDownTrack(ifc), "assert-sent", "")
+	}
 	ds.lastAssertTx = now
 	ds.hasAssertTx = true
 }
@@ -831,9 +960,15 @@ func (e *Engine) onAssert(ifc *netem.Interface, src ipv6.Addr, a *Assert) {
 	if Better(a.MetricPreference, a.Metric, src, myPref, myMetric, ifc.LinkLocal()) {
 		// We lose: stop forwarding on this interface for AssertTime.
 		ds.assertLoser = true
+		if e.Obs != nil {
+			e.Obs.State(e.Node.Name, ent.obsDownTrack(ifc), "assert-loser", "winner="+src.String())
+		}
 		if ds.assertTimer == nil {
 			ds.assertTimer = sim.NewTimer(e.Node.Sched(), func() {
 				ds.assertLoser = false
+				if e.Obs != nil {
+					e.Obs.State(e.Node.Name, ds.entry.obsDownTrack(ds.ifc), "forwarding", "assert-expired")
+				}
 				ds.entry.reconsiderUpstream()
 			})
 		}

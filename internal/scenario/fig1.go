@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mip6mcast/internal/ipv6"
@@ -10,9 +11,11 @@ import (
 	"mip6mcast/internal/mld"
 	"mip6mcast/internal/ndp"
 	"mip6mcast/internal/netem"
+	"mip6mcast/internal/obs"
 	"mip6mcast/internal/pimdm"
 	"mip6mcast/internal/routing"
 	"mip6mcast/internal/sim"
+	"mip6mcast/internal/trace"
 )
 
 // Group is the multicast group used throughout the experiments.
@@ -37,6 +40,21 @@ type Options struct {
 	// tunnel entry — the implementation issue the paper's conclusion
 	// flags for the uni-directional tunnels.
 	LinkMTU int
+
+	// Obs, when non-nil, is bound to the network's scheduler and attached
+	// to every protocol engine and link: state-machine transitions and
+	// decoded wire transmissions land in the recorder for JSONL/Perfetto
+	// export. One recorder serves one timeline; replicated sweeps attach
+	// one per replicate.
+	Obs *obs.Recorder
+	// Instrument enables the scheduler's per-handler-tag wall-clock
+	// timing (see sim.Scheduler.Instrument). Queue high-water mark and
+	// dispatch counts are tracked regardless.
+	Instrument bool
+	// OnNetwork, when non-nil, observes every Network built from these
+	// options right after construction. The experiment engine uses it to
+	// collect per-replicate scheduler run stats.
+	OnNetwork func(*Network)
 }
 
 // WithMLD returns a copy of o with the router MLD configuration and the
@@ -78,6 +96,29 @@ type Router struct {
 	HAs map[string]*mipv6.HomeAgent
 }
 
+// HALinks returns the home-link names this router serves, sorted.
+func (r *Router) HALinks() []string {
+	links := make([]string, 0, len(r.HAs))
+	for ln := range r.HAs {
+		links = append(links, ln)
+	}
+	sort.Strings(links)
+	return links
+}
+
+// HomeAgents returns the router's home agents in sorted home-link order.
+// Use this instead of ranging over the HAs map wherever the iteration
+// schedules events (core.NewHAService arms a ticker): map order would
+// perturb the timeline's event sequence and break trace reproducibility.
+func (r *Router) HomeAgents() []*mipv6.HomeAgent {
+	links := r.HALinks()
+	out := make([]*mipv6.HomeAgent, len(links))
+	for i, ln := range links {
+		out[i] = r.HAs[ln]
+	}
+	return out
+}
+
 // Host bundles one (potentially mobile) host's roles.
 type Host struct {
 	Name  string
@@ -104,6 +145,8 @@ type Network struct {
 	Routers map[string]*Router
 	Hosts   map[string]*Host
 	Acct    *metrics.Accountant
+
+	obs *obs.Recorder // set by AttachRecorder; nil when not observing
 }
 
 // figure1 wiring tables.
@@ -199,7 +242,55 @@ func NewFigure1(opt Options) *Network {
 		f.AddHost(name, hostHomes[name], hostIIDs[name])
 	}
 	f.Acct = metrics.NewAccountant(f.Net)
+	if opt.Instrument {
+		f.Sched.Instrument()
+	}
+	if opt.Obs != nil {
+		f.AttachRecorder(opt.Obs)
+		trace.RecordLinks(opt.Obs, f.Net, nil)
+	}
+	if opt.OnNetwork != nil {
+		opt.OnNetwork(f)
+	}
 	return f
+}
+
+// AttachRecorder binds rec to the network's scheduler and attaches it to
+// every router engine (PIM, MLD, home agents) and host (mobile node, MLD
+// listener), emitting each machine's current state as a baseline. Hosts
+// added later via AddHost are attached automatically. Link transmissions
+// are not recorded here; use trace.RecordLinks for those (NewFigure1 does
+// both when Options.Obs is set).
+func (f *Network) AttachRecorder(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.Bind(f.Sched)
+	f.obs = rec
+	for _, name := range RouterNames() {
+		r, ok := f.Routers[name]
+		if !ok {
+			continue
+		}
+		r.PIM.AttachRecorder(rec)
+		r.MLD.AttachRecorder(rec)
+		for _, ha := range r.HomeAgents() {
+			ha.AttachRecorder(rec)
+		}
+	}
+	hosts := make([]string, 0, len(f.Hosts))
+	for name := range f.Hosts {
+		hosts = append(hosts, name)
+	}
+	sort.Strings(hosts)
+	for _, name := range hosts {
+		f.attachHostRecorder(f.Hosts[name])
+	}
+}
+
+func (f *Network) attachHostRecorder(h *Host) {
+	h.MN.AttachRecorder(f.obs)
+	h.MLD.Obs = f.obs
 }
 
 // AddHost creates an additional mobile-capable host with its home on the
@@ -224,6 +315,9 @@ func (f *Network) AddHost(name, homeLink string, iid uint64) *Host {
 	}
 	h.MLD = mld.NewHost(node, f.Opt.HostMLD)
 	f.Hosts[name] = h
+	if f.obs != nil {
+		f.attachHostRecorder(h)
+	}
 	f.Dom.Recompute() // install the host's dynamic route table
 	return h
 }

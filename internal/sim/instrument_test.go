@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Events inherit the tag active when they were scheduled, and a handler's
+// own tag is active while it runs — so a timer armed inside a tagged
+// handler inherits that handler's tag.
+func TestTagAttribution(t *testing.T) {
+	s := NewScheduler(1)
+	s.Instrument()
+
+	prev := s.PushTag("outer")
+	s.Schedule(time.Second, func() {
+		// Scheduled under "outer"; runs with "outer" active, so this
+		// nested event inherits it without any explicit PushTag.
+		s.Schedule(time.Second, func() {})
+		// An explicit bracket overrides the inherited tag.
+		p := s.PushTag("inner")
+		s.Schedule(time.Second, func() {})
+		s.PopTag(p)
+	})
+	s.PopTag(prev)
+	s.Schedule(time.Second, func() {}) // outside any bracket: empty tag
+
+	s.Run()
+
+	rs := s.RunStats()
+	if rs.Dispatched != 4 {
+		t.Fatalf("dispatched = %d, want 4", rs.Dispatched)
+	}
+	got := map[string]uint64{}
+	for _, ts := range rs.Tags {
+		got[ts.Tag] = ts.Events
+	}
+	want := map[string]uint64{"outer": 2, "inner": 1, "": 1}
+	for tag, n := range want {
+		if got[tag] != n {
+			t.Errorf("tag %q: %d events, want %d (all: %v)", tag, got[tag], n, got)
+		}
+	}
+}
+
+func TestPushPopTagNesting(t *testing.T) {
+	s := NewScheduler(1)
+	p1 := s.PushTag("a")
+	if p1 != "" {
+		t.Errorf("first push returned %q, want empty", p1)
+	}
+	p2 := s.PushTag("b")
+	if p2 != "a" {
+		t.Errorf("nested push returned %q, want \"a\"", p2)
+	}
+	s.PopTag(p2)
+	s.PopTag(p1)
+	s.Schedule(0, func() {})
+	s.Run()
+	rs := s.RunStats()
+	if rs.Dispatched != 1 {
+		t.Fatalf("dispatched = %d", rs.Dispatched)
+	}
+}
+
+func TestQueueHighWater(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < 7; i++ {
+		s.Schedule(time.Duration(i)*time.Second, func() {})
+	}
+	if got := s.QueueHighWater(); got != 7 {
+		t.Errorf("high-water before run = %d, want 7", got)
+	}
+	s.Run()
+	// Draining must not raise the mark.
+	if got := s.QueueHighWater(); got != 7 {
+		t.Errorf("high-water after run = %d, want 7", got)
+	}
+}
+
+// Without Instrument, RunStats still reports dispatch count, high-water
+// mark and virtual time — but no per-tag wall timing.
+func TestRunStatsUninstrumented(t *testing.T) {
+	s := NewScheduler(1)
+	if s.Instrumented() {
+		t.Fatal("fresh scheduler claims to be instrumented")
+	}
+	prev := s.PushTag("x")
+	s.Schedule(3*time.Second, func() {})
+	s.PopTag(prev)
+	s.Run()
+	rs := s.RunStats()
+	if rs.Dispatched != 1 || rs.QueueHighWater != 1 {
+		t.Errorf("dispatched/hwm = %d/%d, want 1/1", rs.Dispatched, rs.QueueHighWater)
+	}
+	if rs.Virtual != Time(3*time.Second) {
+		t.Errorf("virtual = %v", rs.Virtual)
+	}
+	if rs.Wall != 0 || len(rs.Tags) != 0 {
+		t.Errorf("uninstrumented run has wall=%v tags=%v", rs.Wall, rs.Tags)
+	}
+}
+
+func TestRunStatsWallAndSpeedUp(t *testing.T) {
+	s := NewScheduler(1)
+	s.Instrument()
+	s.Schedule(time.Minute, func() {
+		busy := time.Now()
+		for time.Since(busy) < time.Millisecond {
+		}
+	})
+	s.Run()
+	rs := s.RunStats()
+	if rs.Wall <= 0 {
+		t.Fatalf("instrumented run measured no wall time")
+	}
+	if rs.SpeedUp() <= 0 {
+		t.Errorf("speed-up = %v, want > 0", rs.SpeedUp())
+	}
+	if len(rs.Tags) != 1 || rs.Tags[0].Events != 1 {
+		t.Errorf("tags = %+v", rs.Tags)
+	}
+	if (RunStats{}).SpeedUp() != 0 {
+		t.Error("zero-value RunStats speed-up not 0")
+	}
+}
+
+// Tag plumbing must not allocate or measurably slow the kernel when
+// instrumentation is off: this is the hot path of every simulation.
+func TestStepZeroAllocUninstrumented(t *testing.T) {
+	s := NewScheduler(1)
+	fn := func() {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.At(s.Now(), fn)
+		s.Step()
+	})
+	// One allocation per At (the event itself) is the pre-existing cost;
+	// dispatch must add none.
+	if allocs > 2 {
+		t.Errorf("schedule+step allocates %.1f objects/op", allocs)
+	}
+}
+
+func BenchmarkStepUninstrumented(b *testing.B) {
+	s := NewScheduler(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now(), fn)
+		s.Step()
+	}
+}
+
+func BenchmarkStepInstrumented(b *testing.B) {
+	s := NewScheduler(1)
+	s.Instrument()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now(), fn)
+		s.Step()
+	}
+}

@@ -51,8 +51,9 @@ type event struct {
 	at    Time
 	seq   uint64 // tie-break: FIFO among events at the same instant
 	fn    func()
-	index int  // heap index, -1 when popped or canceled
-	dead  bool // canceled
+	tag   string // handler tag inherited from the scheduling context
+	index int    // heap index, -1 when popped or canceled
+	dead  bool   // canceled
 }
 
 // eventQueue implements heap.Interface ordered by (at, seq).
@@ -100,6 +101,15 @@ type Scheduler struct {
 	// processed counts events executed; useful for kernel benchmarks and
 	// runaway detection in tests.
 	processed uint64
+
+	// curTag is the handler tag attributed to events scheduled right now:
+	// subsystems bracket their scheduling with PushTag/PopTag, and events
+	// inherit the tag active while the currently-executing event runs.
+	curTag string
+	// hwm is the event-queue high-water mark (max observed queue length).
+	hwm int
+	// instr, when non-nil, accumulates per-tag wall-clock dispatch timing.
+	instr *instr
 }
 
 // NewScheduler returns a scheduler whose random source is seeded with seed.
@@ -142,9 +152,12 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 	if t < s.now {
 		t = s.now
 	}
-	e := &event{at: t, seq: s.seq, fn: fn}
+	e := &event{at: t, seq: s.seq, fn: fn, tag: s.curTag}
 	s.seq++
 	heap.Push(&s.queue, e)
+	if len(s.queue) > s.hwm {
+		s.hwm = len(s.queue)
+	}
 	return &Event{s: s, e: e}
 }
 
@@ -161,7 +174,15 @@ func (s *Scheduler) Step() bool {
 		}
 		s.now = e.at
 		s.processed++
-		e.fn()
+		s.curTag = e.tag
+		if s.instr != nil {
+			start := time.Now()
+			e.fn()
+			s.instr.record(e.tag, time.Since(start))
+		} else {
+			e.fn()
+		}
+		s.curTag = ""
 		return true
 	}
 	return false

@@ -1,0 +1,61 @@
+package trace
+
+import "sort"
+
+// The closed set of kind strings Describe can emit, kept in lockstep with
+// classify (classify_kinds_test.go asserts the correspondence). The
+// open-ended "proto<N>" fallback for unknown next-headers is excluded.
+var knownKinds = []string{
+	"back",
+	"breq",
+	"bu",
+	"data",
+	"fragment",
+	"icmp6",
+	"icmp6?",
+	"mld-done",
+	"mld-query",
+	"mld-report",
+	"ndp-ra",
+	"ndp-rs",
+	"none",
+	"pim",
+	"pim-assert",
+	"pim-graft",
+	"pim-graftack",
+	"pim-hello",
+	"pim-join",
+	"pim-joinprune",
+	"pim-prune",
+	"pim-staterefresh",
+	"pim?",
+	"udp",
+}
+
+// fallbackKinds are the catch-all classifications: a packet landing on one
+// was recognized only by protocol number, not decoded as a known message.
+// Scenario traces should never contain them (see the Figure 1 coverage
+// test); their presence signals a codec or classifier gap.
+var fallbackKinds = map[string]bool{
+	"icmp6": true, "icmp6?": true, "pim": true, "pim?": true, "none": true,
+}
+
+// KnownKinds returns every kind string Describe can emit, sorted, except
+// the open-ended "proto<N>" fallback. CLI kind filters validate against
+// this set.
+func KnownKinds() []string {
+	out := make([]string, len(knownKinds))
+	copy(out, knownKinds)
+	return out
+}
+
+// IsKnownKind reports whether k is in the known-kind set.
+func IsKnownKind(k string) bool {
+	i := sort.SearchStrings(knownKinds, k)
+	return i < len(knownKinds) && knownKinds[i] == k
+}
+
+// IsFallbackKind reports whether k is a catch-all classification (a packet
+// recognized only by protocol number or header shape, not as a decoded
+// protocol message).
+func IsFallbackKind(k string) bool { return fallbackKinds[k] }

@@ -171,8 +171,8 @@ func runExpF1(ctx exp.Context, p exp.Params) exp.Result {
 
 func runExpF2(ctx exp.Context, p exp.Params) exp.Result {
 	var out [2]F2Result
-	exp.ForEach(ctx, 2, func(i int) {
-		out[i] = measureF2(ctx.Opt, i == 0)
+	exp.ForEach(ctx, 2, func(opt scenario.Options, i int) {
+		out[i] = measureF2(opt, i == 0)
 	})
 	labels := []string{"unsolicited-reports", "wait-for-query"}
 	cols := []string{"join(s)", "leave(s)", "waste(B)", "delivered-after"}
@@ -200,8 +200,8 @@ func runExpF3(ctx exp.Context, p exp.Params) exp.Result {
 	variants := []HAVariant{VariantGroupListBU, VariantTunneledMLD}
 	labels := []string{"group-list-BU", "tunneled-MLD"}
 	results := make([]F3Result, len(variants))
-	exp.ForEach(ctx, len(variants), func(i int) {
-		results[i] = measureF3(ctx.Opt, variants[i])
+	exp.ForEach(ctx, len(variants), func(opt scenario.Options, i int) {
+		results[i] = measureF3(opt, variants[i])
 	})
 	cols := []string{"join(s)", "hops", "optimal", "tun-ovh(B)", "ha-tunneled"}
 	rows := make([]metrics.Row, 0, len(variants))
@@ -229,8 +229,8 @@ func runExpF3(ctx exp.Context, p exp.Params) exp.Result {
 
 func runExpF4(ctx exp.Context, p exp.Params) exp.Result {
 	var out [2]F4Result
-	exp.ForEach(ctx, 2, func(i int) {
-		out[i] = measureF4(ctx.Opt, i == 0)
+	exp.ForEach(ctx, 2, func(opt scenario.Options, i int) {
+		out[i] = measureF4(opt, i == 0)
 	})
 	labels := []string{"reverse-tunnel", "local-send"}
 	cols := []string{"gap(s)", "newtrees", "peakSG", "asserts", "tun(B)", "recv-R1", "recv-R2", "recv-R3"}
@@ -259,8 +259,8 @@ func runExpF4(ctx exp.Context, p exp.Params) exp.Result {
 func runExpT1(ctx exp.Context, p exp.Params) exp.Result {
 	approaches := FourApproaches()
 	rows := make([]T1Row, len(approaches))
-	exp.ForEach(ctx, len(approaches), func(i int) {
-		rows[i] = runT1One(ctx.Opt, approaches[i])
+	exp.ForEach(ctx, len(approaches), func(opt scenario.Options, i int) {
+		rows[i] = runT1One(opt, approaches[i])
 	})
 	return exp.Result{
 		Title:    "T1: four approaches, Fig.1 movement scenario",
