@@ -21,12 +21,13 @@ race:
 
 check: build vet race
 
-# Benchmark evidence for the observability layer: kernel dispatch cost with
-# instrumentation off/on, the nil-recorder hook cost (must be 0 allocs),
-# and full-stack forwarding with and without a recorder attached. Output is
-# the `go test -json` event stream.
+# Benchmark evidence for the data-plane fast path: the Figure 1 macro run
+# (events/sec, B/op, allocs/op end to end), link delivery and multicast
+# fan-out micro-benches, scheduler dispatch cost, and the PR2 observability
+# benches for continuity. Output is the `go test -json` event stream;
+# baseline numbers are documented in EXPERIMENTS.md.
 bench:
 	$(GO) test -json -run '^$$' -benchmem \
-		-bench 'BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding' \
-		./internal/sim ./internal/obs . > BENCH_PR2.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR2.json | sed 's/"Output":"//;s/\\n$$//' || true
+		-bench 'BenchmarkFigure1Macro|BenchmarkLinkDelivery|BenchmarkMulticastFanout|BenchmarkFragmentationPath|BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding' \
+		./bench ./internal/netem ./internal/sim ./internal/obs . > BENCH_PR3.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR3.json | sed 's/"Output":"//;s/\\n$$//' || true

@@ -1,0 +1,33 @@
+//go:build !race
+
+// Allocation budget for tunnel encapsulation, the per-packet cost every
+// reverse-tunneled multicast datagram pays twice (encap at the mobile node,
+// decap+re-encap paths at the home agent). Excluded under -race; see
+// scripts/check.sh for the non-race pass.
+
+package ipv6
+
+import "testing"
+
+// tunnelEncapAllocBudget is the measured cost (one encode buffer + one
+// outer Packet) plus headroom of one. Raise only with a benchmark showing
+// why the extra allocation is unavoidable.
+const tunnelEncapAllocBudget = 3
+
+func TestTunnelEncapAllocBudget(t *testing.T) {
+	inner := &Packet{
+		Hdr:     Header{Src: MustParseAddr("2001:db8::1"), Dst: MustParseAddr("ff0e::7"), HopLimit: 64},
+		Proto:   ProtoUDP,
+		Payload: make([]byte, 256),
+	}
+	src := MustParseAddr("2001:db8:1::1")
+	dst := MustParseAddr("2001:db8:2::1")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := Encapsulate(src, dst, 64, inner); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > tunnelEncapAllocBudget {
+		t.Errorf("Encapsulate allocates %v objects/op; budget %d", allocs, tunnelEncapAllocBudget)
+	}
+}

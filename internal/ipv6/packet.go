@@ -22,12 +22,19 @@ type Packet struct {
 // Encode serializes the packet. The fixed header's PayloadLen and NextHeader
 // fields are computed; the caller's values are ignored.
 func (p *Packet) Encode() ([]byte, error) {
+	return p.EncodeAppend(make([]byte, 0, HeaderLen+len(p.Payload)+64))
+}
+
+// EncodeAppend serializes the packet, appending to b (which may carry
+// earlier data; the encoding starts at len(b)). Hot paths pass a recycled
+// buffer here to avoid the per-frame allocation of Encode.
+func (p *Packet) EncodeAppend(b []byte) ([]byte, error) {
 	// Determine the chain of next-header values front to back.
 	first, chain := p.nextChain()
 	hdr := p.Hdr
 	hdr.NextHeader = first
 
-	b := make([]byte, 0, HeaderLen+len(p.Payload)+64)
+	start := len(b)
 	b = hdr.marshal(b)
 	var err error
 	i := 0
@@ -57,12 +64,12 @@ func (p *Packet) Encode() ([]byte, error) {
 		i++
 	}
 	b = append(b, p.Payload...)
-	plen := len(b) - HeaderLen
+	plen := len(b) - start - HeaderLen
 	if plen > 0xffff {
 		return nil, fmt.Errorf("ipv6: payload %d exceeds 65535", plen)
 	}
-	b[4] = byte(plen >> 8)
-	b[5] = byte(plen)
+	b[start+4] = byte(plen >> 8)
+	b[start+5] = byte(plen)
 	return b, nil
 }
 

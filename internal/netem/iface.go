@@ -163,8 +163,10 @@ func (ifc *Interface) SendVia(pkt *ipv6.Packet, nextHop ipv6.Addr) error {
 // back to the source (routers never fragment — RFC 2463 §3.2 path-MTU
 // discovery).
 func (ifc *Interface) transmitPacket(pkt *ipv6.Packet, l2dst *Interface) error {
-	frame, err := pkt.Encode()
+	net := ifc.Node.Net
+	frame, err := pkt.EncodeAppend(net.getFrameBuf())
 	if err != nil {
+		net.putFrameBuf(frame)
 		return fmt.Errorf("netem: %s: %w", ifc, err)
 	}
 	mtu := ifc.Link.MTU
@@ -176,25 +178,33 @@ func (ifc *Interface) transmitPacket(pkt *ipv6.Packet, l2dst *Interface) error {
 		}
 	}
 	if mtu <= 0 || len(frame) <= mtu {
-		ifc.Link.transmit(ifc, frame, l2dst)
+		if ifc.Link.transmit(ifc, frame, l2dst) {
+			net.putFrameBuf(frame)
+		}
 		return nil
 	}
 	if !isSource {
+		// The frame escapes into the ICMP error's invoking-packet copy;
+		// leave this (rare) buffer to the garbage collector.
 		ifc.Node.drop("too-big")
 		ifc.Node.sendPacketTooBig(pkt, frame, mtu)
 		return nil
 	}
+	net.putFrameBuf(frame)
 	frags, err := ipv6.Fragment(pkt, mtu, ifc.Node.nextFragID())
 	if err != nil {
 		ifc.Node.drop("too-big")
 		return nil
 	}
 	for _, f := range frags {
-		fb, err := f.Encode()
+		fb, err := f.EncodeAppend(net.getFrameBuf())
 		if err != nil {
+			net.putFrameBuf(fb)
 			return fmt.Errorf("netem: %s: %w", ifc, err)
 		}
-		ifc.Link.transmit(ifc, fb, l2dst)
+		if ifc.Link.transmit(ifc, fb, l2dst) {
+			net.putFrameBuf(fb)
+		}
 	}
 	return nil
 }

@@ -27,6 +27,29 @@ type Network struct {
 	Nodes []*Node
 
 	nextIfaceID int
+
+	// frameBufs recycles encode buffers: transmitPacket encodes into one,
+	// and once Link.transmit has decoded the frame and scheduled delivery
+	// of the shared packet, the bytes are dead and the buffer returns
+	// here. Single-threaded like the scheduler, so no locking.
+	frameBufs [][]byte
+}
+
+// getFrameBuf returns an empty encode buffer (recycled when available).
+func (n *Network) getFrameBuf() []byte {
+	if l := len(n.frameBufs); l > 0 {
+		b := n.frameBufs[l-1]
+		n.frameBufs[l-1] = nil
+		n.frameBufs = n.frameBufs[:l-1]
+		return b[:0]
+	}
+	return make([]byte, 0, 2048)
+}
+
+// putFrameBuf recycles an encode buffer. Callers must be certain nothing
+// retains the bytes (Link.transmit reports this).
+func (n *Network) putFrameBuf(b []byte) {
+	n.frameBufs = append(n.frameBufs, b)
 }
 
 // New creates an empty network driven by the given scheduler.
@@ -57,12 +80,15 @@ func (n *Network) NewNode(name string, router bool) *Node {
 }
 
 // TxEvent describes one frame transmission onto a link, as observed by taps.
+// Frame aliases a recycled encode buffer: it is valid only for the duration
+// of the tap call — taps must copy anything they keep. Pkt is the decoded
+// view shared with every receiver and must not be mutated.
 type TxEvent struct {
 	Time  sim.Time
 	Link  *Link
 	From  *Interface
-	Frame []byte       // encoded bytes as sent
-	Pkt   *ipv6.Packet // decoded once for all taps
+	Frame []byte       // encoded bytes as sent (valid only during the tap)
+	Pkt   *ipv6.Packet // decoded once for all taps and receivers
 }
 
 // Tap observes every transmission on a link (used by metrics and tracing).
@@ -124,20 +150,26 @@ func (l *Link) Resolve(addr ipv6.Addr) *Interface {
 // transmit schedules delivery of frame to receivers on the link. l2dst is
 // nil for multicast/broadcast frames (delivered subject to each interface's
 // multicast filter) or the specific destination interface for unicast.
-func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) {
+//
+// The frame is decoded exactly once, here: taps and every receiver get the
+// same immutable *ipv6.Packet, so an N-receiver multicast delivery costs
+// one parse instead of N (receivers that need to modify the packet —
+// forwarding, routing-header advance — already Clone it). The return value
+// reports whether the caller may recycle the frame buffer: true unless the
+// frame failed to decode, in which case delivery falls back to carrying
+// (and re-parsing) the raw bytes.
+func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) (recyclable bool) {
 	s := l.net.Sched
 	now := s.Now()
 
 	l.TxFrames++
 	l.TxBytes += uint64(len(frame))
 
-	if len(l.Taps) > 0 {
-		pkt, err := ipv6.Decode(frame)
-		if err == nil {
-			ev := TxEvent{Time: now, Link: l, From: from, Frame: frame, Pkt: pkt}
-			for _, t := range l.Taps {
-				t(ev)
-			}
+	pkt, decErr := ipv6.Decode(frame)
+	if decErr == nil && len(l.Taps) > 0 {
+		ev := TxEvent{Time: now, Link: l, From: from, Frame: frame, Pkt: pkt}
+		for _, t := range l.Taps {
+			t(ev)
 		}
 	}
 
@@ -152,6 +184,7 @@ func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) {
 	l.busyUntil = start.Add(txTime)
 	arrive := l.busyUntil.Add(l.Delay)
 
+	unicast := l2dst != nil
 	// Delivery events carry the "link" handler tag: wall time spent
 	// receiving and dispatching frames is attributed to the wire, while
 	// timers armed by protocol handlers retag themselves (see sim.PushTag).
@@ -168,14 +201,23 @@ func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) {
 			continue
 		}
 		ifc := ifc
-		data := frame // frames are immutable after transmit
-		s.At(arrive, func() {
-			if ifc.up && ifc.Link == l {
-				ifc.Node.receive(ifc, data, l2dst != nil)
-			}
-		})
+		if decErr == nil {
+			s.At(arrive, func() {
+				if ifc.up && ifc.Link == l {
+					ifc.Node.receivePacket(ifc, pkt, unicast)
+				}
+			})
+		} else {
+			data := frame // kept alive: buffer must not be recycled
+			s.At(arrive, func() {
+				if ifc.up && ifc.Link == l {
+					ifc.Node.receive(ifc, data, unicast)
+				}
+			})
+		}
 	}
 	s.PopTag(prevTag)
+	return decErr == nil
 }
 
 // Attach connects iface to this link (used by Node.AddInterface and by

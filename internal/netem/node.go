@@ -12,7 +12,12 @@ import (
 // RxPacket is a received datagram handed to protocol modules.
 type RxPacket struct {
 	Iface *Interface
-	Pkt   *ipv6.Packet
+	// Pkt is the decoded datagram. It is shared: every receiver of the
+	// same link transmission (and every tap) sees the same *ipv6.Packet,
+	// parsed once at transmit. Handlers must treat it as immutable and
+	// Clone before modifying (the forwarding and routing-header paths
+	// already do). Retaining it is safe.
+	Pkt *ipv6.Packet
 	// LocalDst reports whether the packet is addressed to this node (one of
 	// its unicast addresses or a multicast group an interface accepts).
 	LocalDst bool
@@ -262,14 +267,23 @@ func (n *Node) drop(reason string) {
 	n.Drops[reason]++
 }
 
-// receive is the input path: frame arrived on ifc. l2unicast reports whether
-// the frame was link-layer addressed specifically to this interface.
+// receive is the input path for raw frames: decode, then dispatch. The
+// link fast path decodes once at transmit and calls receivePacket directly;
+// this wrapper serves tests and the undecodable-frame fallback.
 func (n *Node) receive(ifc *Interface, frame []byte, l2unicast bool) {
 	pkt, err := ipv6.Decode(frame)
 	if err != nil {
 		n.drop("malformed")
 		return
 	}
+	n.receivePacket(ifc, pkt, l2unicast)
+}
+
+// receivePacket dispatches a decoded datagram that arrived on ifc. pkt may
+// be shared with sibling receivers of the same transmission and must not be
+// mutated. l2unicast reports whether the frame was link-layer addressed
+// specifically to this interface.
+func (n *Node) receivePacket(ifc *Interface, pkt *ipv6.Packet, l2unicast bool) {
 	dst := pkt.Hdr.Dst
 
 	local := false

@@ -1,6 +1,7 @@
 package pimdm
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -51,6 +52,44 @@ type Config struct {
 	// mechanism PIM-DM later standardized in RFC 3973). Zero (the default)
 	// reproduces the paper-era behavior.
 	StateRefreshInterval time.Duration
+}
+
+// Validate reports configuration errors: timers the protocol cannot run
+// without must be positive, and the optional ones must not be negative.
+// JoinOverrideInterval and StateRefreshInterval may be zero (immediate
+// overrides / feature disabled); negative values are always wrong.
+func (c Config) Validate() error {
+	positive := []struct {
+		name string
+		v    time.Duration
+	}{
+		{"HelloInterval", c.HelloInterval},
+		{"HelloHoldtime", c.HelloHoldtime},
+		{"DataTimeout", c.DataTimeout},
+		{"PruneDelay", c.PruneDelay},
+		{"PruneHoldtime", c.PruneHoldtime},
+		{"GraftRetry", c.GraftRetry},
+		{"AssertTime", c.AssertTime},
+	}
+	for _, p := range positive {
+		if p.v <= 0 {
+			return fmt.Errorf("pimdm: %s must be positive, got %v", p.name, p.v)
+		}
+	}
+	if c.JoinOverrideInterval < 0 {
+		return fmt.Errorf("pimdm: JoinOverrideInterval must not be negative, got %v", c.JoinOverrideInterval)
+	}
+	if c.AssertSuppress < 0 {
+		return fmt.Errorf("pimdm: AssertSuppress must not be negative, got %v", c.AssertSuppress)
+	}
+	if c.StateRefreshInterval < 0 {
+		return fmt.Errorf("pimdm: StateRefreshInterval must not be negative, got %v", c.StateRefreshInterval)
+	}
+	if c.JoinOverrideInterval >= c.PruneDelay {
+		return fmt.Errorf("pimdm: JoinOverrideInterval (%v) must stay below PruneDelay (%v) or overrides arrive after the prune fires",
+			c.JoinOverrideInterval, c.PruneDelay)
+	}
+	return nil
 }
 
 // DefaultConfig returns the draft defaults used throughout the paper.
@@ -744,9 +783,14 @@ func (e *Engine) onJoinPrune(ifc *netem.Interface, src ipv6.Addr, m *JoinPrune) 
 				}
 			} else if ifc == ent.upstream {
 				// A sibling pruned our upstream LAN; if we still need the
-				// traffic, schedule an overriding Join (§4.4.2).
+				// traffic, schedule an overriding Join (§4.4.2). A zero
+				// JoinOverrideInterval means no random delay (Int63n
+				// panics on 0), not no override.
 				if ent.hasDownstreamDemand() && !ent.prunedUpstream {
-					d := time.Duration(e.Node.Sched().Rand().Int63n(int64(e.Config.JoinOverrideInterval)))
+					var d time.Duration
+					if e.Config.JoinOverrideInterval > 0 {
+						d = time.Duration(e.Node.Sched().Rand().Int63n(int64(e.Config.JoinOverrideInterval)))
+					}
 					ent.joinOverride.Reset(d)
 				}
 			}

@@ -1,0 +1,120 @@
+package pimdm_test
+
+// Regression tests for protocol-correctness fixes: State Refresh RPF
+// filtering, the zero JoinOverrideInterval panic, and Config validation.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/mld"
+	"mip6mcast/internal/pimdm"
+	"mip6mcast/internal/sim"
+)
+
+// TestStateRefreshWrongInterfaceNoEntry covers the RPF check in
+// onStateRefresh: a State Refresh heard on an interface that is NOT the
+// router's RPF interface toward the source must not instantiate an (S,G)
+// entry. Router B's route to the L1 prefix points out L2, so a refresh
+// injected on L3 is on the wrong interface for B — while C and D, whose RPF
+// interface toward L1 is L3, legitimately accept the same message.
+func TestStateRefreshWrongInterfaceNoEntry(t *testing.T) {
+	cfg := pimdm.DefaultConfig()
+	cfg.StateRefreshInterval = 10 * time.Second
+	f := newFig1(5, cfg, mld.FastConfig(30*time.Second))
+
+	inj := f.net.NewNode("inj", false)
+	ifc := inj.AddInterface(f.links["L3"])
+
+	src := ipv6.MustParseAddr("2001:db8:1::beef") // on L1's prefix
+	f.s.At(sim.Time(500*time.Millisecond), func() {
+		sr := &pimdm.StateRefresh{
+			Group:      group,
+			Source:     src,
+			Originator: src,
+			TTL:        8,
+			Interval:   cfg.StateRefreshInterval,
+		}
+		body, err := pimdm.Marshal(ifc.LinkLocal(), ipv6.AllPIMRouters, sr)
+		if err != nil {
+			t.Errorf("marshal state refresh: %v", err)
+			return
+		}
+		pkt := &ipv6.Packet{
+			Hdr:     ipv6.Header{Src: ifc.LinkLocal(), Dst: ipv6.AllPIMRouters, HopLimit: 1},
+			Proto:   ipv6.ProtoPIM,
+			Payload: body,
+		}
+		_ = inj.OutputOn(ifc, pkt)
+	})
+	f.s.RunUntil(sim.Time(2 * time.Second))
+
+	if heard := f.engines["B"].Stats.StateRefreshHeard; heard == 0 {
+		t.Fatal("B never heard the injected State Refresh; test setup broken")
+	}
+	if n := f.engines["B"].EntryCount(); n != 0 {
+		t.Errorf("B created %d (S,G) entries from a State Refresh on a non-RPF interface; want 0", n)
+	}
+	if n := f.engines["D"].EntryCount(); n != 1 {
+		t.Errorf("D has %d (S,G) entries after a State Refresh on its RPF interface; want 1", n)
+	}
+}
+
+// TestJoinOverrideZeroInterval covers the Int63n(0) panic: with
+// JoinOverrideInterval == 0 the override Join must fire immediately instead
+// of panicking. The scenario forces the override path: C (no members) prunes
+// L3, and D — which still has a receiver behind L4 — must override.
+func TestJoinOverrideZeroInterval(t *testing.T) {
+	cfg := pimdm.DefaultConfig()
+	cfg.JoinOverrideInterval = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero JoinOverrideInterval should be a valid config: %v", err)
+	}
+	f := newFig1(3, cfg, mld.FastConfig(30*time.Second))
+	_, _, r3got, _ := f.addReceiver("r3", "L4")
+	f.addSender("s0", "L1", 100*time.Millisecond)
+
+	f.s.RunUntil(sim.Time(20 * time.Second)) // panics here without the guard
+
+	if (*r3got)() == 0 {
+		t.Error("receiver on L4 got no data; override Join with zero interval did not work")
+	}
+	if n := f.engines["D"].EntryCount(); n != 1 {
+		t.Errorf("D has %d (S,G) entries; want 1", n)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := pimdm.DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config must validate: %v", err)
+	}
+	mut := func(f func(*pimdm.Config)) pimdm.Config {
+		c := pimdm.DefaultConfig()
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name string
+		cfg  pimdm.Config
+		want string // substring of the expected error
+	}{
+		{"zero hello", mut(func(c *pimdm.Config) { c.HelloInterval = 0 }), "HelloInterval"},
+		{"negative data timeout", mut(func(c *pimdm.Config) { c.DataTimeout = -time.Second }), "DataTimeout"},
+		{"zero prune delay", mut(func(c *pimdm.Config) { c.PruneDelay = 0 }), "PruneDelay"},
+		{"negative override", mut(func(c *pimdm.Config) { c.JoinOverrideInterval = -time.Millisecond }), "JoinOverrideInterval"},
+		{"negative state refresh", mut(func(c *pimdm.Config) { c.StateRefreshInterval = -time.Second }), "StateRefreshInterval"},
+		{"override at prune delay", mut(func(c *pimdm.Config) { c.JoinOverrideInterval = c.PruneDelay }), "JoinOverrideInterval"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error mentioning %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %q, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}

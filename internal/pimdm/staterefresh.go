@@ -125,10 +125,14 @@ func (ent *sgEntry) originateStateRefresh() {
 
 // propagateStateRefresh sends the message on every downstream PIM
 // interface — including pruned ones, whose prune state it refreshes.
+// Iterates the node's interface slice, not the downstream map: emission
+// order decides the per-link transmission sequence and must not vary with
+// map layout (trace reproducibility, as on the data-replication path).
 func (ent *sgEntry) propagateStateRefresh(sr *StateRefresh) {
 	e := ent.e
-	for ifc, ds := range ent.downstream {
-		if !ifc.Up() || !e.HasNeighbors(ifc) {
+	for _, ifc := range e.Node.Ifaces {
+		ds := ent.downstream[ifc]
+		if ds == nil || !ifc.Up() || !e.HasNeighbors(ifc) {
 			continue
 		}
 		out := *sr
@@ -150,8 +154,22 @@ func (e *Engine) onStateRefresh(ifc *netem.Interface, sr *StateRefresh) {
 	if sr.TTL == 0 {
 		return
 	}
-	ent := e.getOrCreate(sr.Source, sr.Group)
-	if ent == nil || ifc != ent.upstream {
+	// RPF check before instantiating state: a refresh arriving on a
+	// non-RPF interface must not create and retain an (S,G) entry — that
+	// would inflate EntryCount (the paper's "system load" metric) with
+	// state for trees this router is not on.
+	ent, ok := e.entry(sr.Source, sr.Group)
+	if !ok {
+		upIfc, _, routeOK := e.Routing.RPFInterface(sr.Source)
+		if !routeOK || upIfc != ifc {
+			return
+		}
+		ent = e.getOrCreate(sr.Source, sr.Group)
+		if ent == nil {
+			return
+		}
+	}
+	if ifc != ent.upstream {
 		return
 	}
 	ent.expiry.Reset(e.Config.DataTimeout)

@@ -1,0 +1,33 @@
+//go:build !race
+
+// Allocation budgets for the scheduler hot path. Excluded under -race: the
+// race runtime instruments allocations and the counts no longer reflect the
+// production build. scripts/check.sh runs these in a separate non-race pass.
+
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStepAllocFree pins the zero-allocation event loop: with the event free
+// list warm, Schedule + Step must not allocate. A regression here (e.g. the
+// Event handle escaping to the heap again) multiplies across every event of
+// every run.
+func TestStepAllocFree(t *testing.T) {
+	s := NewScheduler(1)
+	fn := func() {}
+	// Warm the event pool and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		s.Schedule(time.Microsecond, fn)
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Schedule(time.Microsecond, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("Schedule+Step allocates %v objects/op with a warm pool; want 0", allocs)
+	}
+}

@@ -46,7 +46,10 @@ func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 // String formats the time as seconds with millisecond precision, e.g. "12.345s".
 func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: once executed (or
+// drained after cancellation) they return to the scheduler's free list and
+// are reused by later At/Schedule calls. The generation counter invalidates
+// stale Event handles across reuse.
 type event struct {
 	at    Time
 	seq   uint64 // tie-break: FIFO among events at the same instant
@@ -54,6 +57,7 @@ type event struct {
 	tag   string // handler tag inherited from the scheduling context
 	index int    // heap index, -1 when popped or canceled
 	dead  bool   // canceled
+	gen   uint64 // bumped on recycle; handles carry the gen they were issued at
 }
 
 // eventQueue implements heap.Interface ordered by (at, seq).
@@ -102,6 +106,11 @@ type Scheduler struct {
 	// runaway detection in tests.
 	processed uint64
 
+	// free is the recycled-event list: executed and drained-dead events
+	// land here and are reused by At, so steady-state scheduling does not
+	// allocate.
+	free []*event
+
 	// curTag is the handler tag attributed to events scheduled right now:
 	// subsystems bracket their scheduling with PushTag/PopTag, and events
 	// inherit the tag active while the currently-executing event runs.
@@ -136,7 +145,7 @@ func (s *Scheduler) Pending() int { return len(s.queue) }
 // Schedule runs fn after delay d of virtual time. A negative delay is treated
 // as zero (fn runs at the current instant, after already-queued events for
 // that instant). It returns a handle that can cancel the event.
-func (s *Scheduler) Schedule(d time.Duration, fn func()) *Event {
+func (s *Scheduler) Schedule(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -145,20 +154,37 @@ func (s *Scheduler) Schedule(d time.Duration, fn func()) *Event {
 
 // At runs fn at absolute virtual time t. Times in the past are clamped to
 // the present.
-func (s *Scheduler) At(t Time, fn func()) *Event {
+func (s *Scheduler) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("sim: At called with nil func")
 	}
 	if t < s.now {
 		t = s.now
 	}
-	e := &event{at: t, seq: s.seq, fn: fn, tag: s.curTag}
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.at, e.seq, e.fn, e.tag, e.dead = t, s.seq, fn, s.curTag, false
+	} else {
+		e = &event{at: t, seq: s.seq, fn: fn, tag: s.curTag}
+	}
 	s.seq++
 	heap.Push(&s.queue, e)
 	if len(s.queue) > s.hwm {
 		s.hwm = len(s.queue)
 	}
-	return &Event{s: s, e: e}
+	return Event{e: e, gen: e.gen}
+}
+
+// recycle returns a popped event to the free list, invalidating any
+// outstanding handles to it.
+func (s *Scheduler) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.tag = ""
+	s.free = append(s.free, e)
 }
 
 // Stop halts the run loop after the current event returns.
@@ -170,17 +196,22 @@ func (s *Scheduler) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*event)
 		if e.dead {
+			s.recycle(e)
 			continue
 		}
 		s.now = e.at
 		s.processed++
 		s.curTag = e.tag
+		fn, tag := e.fn, e.tag
+		// Recycle before running: fn may reschedule and reuse this slot,
+		// which is fine — the handle generations already diverge.
+		s.recycle(e)
 		if s.instr != nil {
 			start := time.Now()
-			e.fn()
-			s.instr.record(e.tag, time.Since(start))
+			fn()
+			s.instr.record(tag, time.Since(start))
 		} else {
-			e.fn()
+			fn()
 		}
 		s.curTag = ""
 		return true
@@ -222,21 +253,30 @@ func (s *Scheduler) peek() *event {
 			return e
 		}
 		heap.Pop(&s.queue)
+		s.recycle(e)
 	}
 	return nil
 }
 
-// Event is a cancelable handle to a scheduled callback.
+// Event is a cancelable handle to a scheduled callback. It is a small value
+// (no heap allocation per scheduled event); the zero Event is an inert
+// handle on which Cancel and Pending report false. Handles stay safe after
+// their event fires: the underlying object is recycled for later events,
+// and a stale handle simply becomes inert.
 type Event struct {
-	s *Scheduler
-	e *event
+	e   *event
+	gen uint64
 }
+
+// live reports whether the handle still refers to the event it was issued
+// for (the underlying object may have been recycled since).
+func (ev Event) live() bool { return ev.e != nil && ev.e.gen == ev.gen }
 
 // Cancel prevents the event from firing. Canceling an already-fired or
 // already-canceled event is a no-op. It reports whether the event was still
 // pending.
-func (ev *Event) Cancel() bool {
-	if ev == nil || ev.e == nil || ev.e.dead || ev.e.index == -1 {
+func (ev Event) Cancel() bool {
+	if !ev.live() || ev.e.dead || ev.e.index == -1 {
 		return false
 	}
 	ev.e.dead = true
@@ -244,9 +284,15 @@ func (ev *Event) Cancel() bool {
 }
 
 // Pending reports whether the event is still queued to fire.
-func (ev *Event) Pending() bool {
-	return ev != nil && ev.e != nil && !ev.e.dead && ev.e.index != -1
+func (ev Event) Pending() bool {
+	return ev.live() && !ev.e.dead && ev.e.index != -1
 }
 
-// When returns the virtual time the event fires (or fired).
-func (ev *Event) When() Time { return ev.e.at }
+// When returns the virtual time the event fires. It is only meaningful
+// while the event is pending; once fired or canceled it returns 0.
+func (ev Event) When() Time {
+	if !ev.live() {
+		return 0
+	}
+	return ev.e.at
+}

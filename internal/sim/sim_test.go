@@ -395,6 +395,44 @@ func TestTickerFireNow(t *testing.T) {
 	}
 }
 
+// Regression: SetPeriod on a stopped ticker used to resurrect its Running()
+// state without rearming it — a zombie that claims to run but never fires.
+// A stopped ticker must stay stopped (and silent) across SetPeriod.
+func TestTickerStopThenSetPeriod(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	tk := NewTicker(s, time.Second, 0, func() { count++ })
+	tk.Stop()
+	tk.SetPeriod(2 * time.Second)
+	if tk.Running() {
+		t.Error("stopped ticker reports Running after SetPeriod")
+	}
+	s.RunUntil(Time(time.Minute))
+	if count != 0 {
+		t.Errorf("stopped ticker fired %d times after SetPeriod", count)
+	}
+}
+
+// Regression: FireNow on a stopped ticker used to run the callback (and
+// rearm the periodic schedule). A stopped ticker must ignore FireNow.
+func TestTickerFireNowAfterStop(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	tk := NewTicker(s, time.Second, 0, func() { count++ })
+	tk.Stop()
+	tk.FireNow()
+	if count != 0 {
+		t.Error("FireNow on a stopped ticker ran the callback")
+	}
+	s.RunUntil(Time(time.Minute))
+	if count != 0 {
+		t.Errorf("stopped ticker fired %d times after FireNow", count)
+	}
+	if tk.Running() {
+		t.Error("stopped ticker reports Running after FireNow")
+	}
+}
+
 // Property: for any batch of non-negative delays, events fire in
 // non-decreasing time order and the count matches.
 func TestQuickEventOrdering(t *testing.T) {
@@ -428,7 +466,7 @@ func TestQuickCancellationSubset(t *testing.T) {
 		count := int(n%32) + 1
 		s := NewScheduler(3)
 		fired := make([]bool, count)
-		evs := make([]*Event, count)
+		evs := make([]Event, count)
 		for i := 0; i < count; i++ {
 			i := i
 			evs[i] = s.Schedule(time.Duration(i)*time.Millisecond, func() { fired[i] = true })

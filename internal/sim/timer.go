@@ -10,9 +10,10 @@ import "time"
 // The zero value is not usable; create one with NewTimer or the Scheduler's
 // AfterFunc-style helpers.
 type Timer struct {
-	s  *Scheduler
-	fn func()
-	ev *Event
+	s     *Scheduler
+	fn    func()
+	ev    Event
+	armed bool
 }
 
 // NewTimer returns a stopped timer that will run fn on the scheduler when it
@@ -36,36 +37,40 @@ func AfterFunc(s *Scheduler, d time.Duration, fn func()) *Timer {
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
 	t.ev = t.s.Schedule(d, t.fire)
+	t.armed = true
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
 	t.ev = t.s.At(at, t.fire)
+	t.armed = true
 }
 
 func (t *Timer) fire() {
-	t.ev = nil
+	t.ev = Event{}
+	t.armed = false
 	t.fn()
 }
 
 // Stop disarms the timer. It reports whether the timer was running.
 func (t *Timer) Stop() bool {
-	if t.ev == nil {
+	if !t.armed {
 		return false
 	}
 	was := t.ev.Cancel()
-	t.ev = nil
+	t.ev = Event{}
+	t.armed = false
 	return was
 }
 
 // Running reports whether the timer is armed.
-func (t *Timer) Running() bool { return t.ev != nil && t.ev.Pending() }
+func (t *Timer) Running() bool { return t.armed && t.ev.Pending() }
 
 // Expiry returns the virtual time at which the timer will fire. It is only
 // meaningful while Running.
 func (t *Timer) Expiry() Time {
-	if t.ev == nil {
+	if !t.armed {
 		return 0
 	}
 	return t.ev.When()
@@ -84,11 +89,12 @@ func (t *Timer) Remaining() time.Duration {
 // optional uniform jitter. Periodic protocol chores (MLD Queries, PIM Hellos,
 // Binding Update refreshes, CBR traffic sources) are expressed with Tickers.
 type Ticker struct {
-	s      *Scheduler
-	period time.Duration
-	jitter time.Duration
-	fn     func()
-	ev     *Event
+	s       *Scheduler
+	period  time.Duration
+	jitter  time.Duration
+	fn      func()
+	ev      Event
+	stopped bool
 }
 
 // NewTicker returns a started ticker firing every period. If jitter > 0 each
@@ -113,26 +119,38 @@ func (t *Ticker) arm() {
 }
 
 func (t *Ticker) tick() {
-	t.ev = nil
+	t.ev = Event{}
 	t.fn()
 	// fn may have stopped the ticker; only rearm if still live.
-	if t.period > 0 {
+	if !t.stopped {
 		t.arm()
 	}
 }
 
 // FireNow runs the callback immediately (at the current instant) without
-// disturbing the periodic schedule.
-func (t *Ticker) FireNow() { t.fn() }
+// disturbing the periodic schedule. A stopped ticker's callback does not
+// run.
+func (t *Ticker) FireNow() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+}
 
-// SetPeriod changes the period for subsequent ticks. The currently pending
-// tick is rescheduled relative to now.
+// SetPeriod changes the period for subsequent ticks. On a running ticker
+// the currently pending tick is rescheduled relative to now; on a stopped
+// ticker only the stored period changes — the ticker stays stopped.
 func (t *Ticker) SetPeriod(period time.Duration) {
 	if period <= 0 {
 		panic("sim: SetPeriod with non-positive period")
 	}
 	t.period = period
-	if t.ev != nil {
+	if t.stopped {
+		return
+	}
+	// Within the tick callback no event is pending; the rearm after fn
+	// returns picks up the new period.
+	if t.ev.Pending() {
 		t.ev.Cancel()
 		t.arm()
 	}
@@ -140,12 +158,10 @@ func (t *Ticker) SetPeriod(period time.Duration) {
 
 // Stop halts the ticker. The callback will not run again.
 func (t *Ticker) Stop() {
-	t.period = 0
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.stopped = true
+	t.ev.Cancel()
+	t.ev = Event{}
 }
 
 // Running reports whether the ticker is still active.
-func (t *Ticker) Running() bool { return t.period > 0 }
+func (t *Ticker) Running() bool { return !t.stopped }

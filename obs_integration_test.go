@@ -101,6 +101,62 @@ func TestTraceDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// Same reproducibility bar under heavy State Refresh traffic. Refresh
+// propagation fans out on every downstream interface of every router each
+// interval, so an emission order that depends on map iteration (the bug this
+// guards against) shows up here as a trace diff between worker counts.
+func TestTraceDeterministicStateRefresh(t *testing.T) {
+	run := func(workers int) map[string][]byte {
+		var mu sync.Mutex
+		recs := map[string]*obs.Recorder{}
+		opt := FastMLDOptions(10)
+		opt.PIM.StateRefreshInterval = 2 * time.Second
+		ctx := exp.Context{
+			Opt:        opt,
+			Replicates: 2,
+			Workers:    workers,
+			Recorder: func(pt, rep int) *obs.Recorder {
+				r := obs.NewRecorder(nil)
+				mu.Lock()
+				recs[fmt.Sprintf("%d/%d", pt, rep)] = r
+				mu.Unlock()
+				return r
+			},
+		}
+		exp.Sweep(ctx, exp.SweepSpec{
+			Points:  []string{"refresh"},
+			Columns: []string{"events"},
+			Run: func(opt scenario.Options, pt int) (map[string]float64, any) {
+				f := buildHandover(opt, BidirectionalTunnel, 15*time.Second)
+				f.Run(30 * time.Second)
+				return map[string]float64{"events": float64(f.Sched.Processed())}, nil
+			},
+		})
+		out := map[string][]byte{}
+		for k, r := range recs {
+			var buf bytes.Buffer
+			if err := r.WriteJSONL(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out[k] = buf.Bytes()
+		}
+		return out
+	}
+
+	serial, parallel := run(1), run(8)
+	if len(serial) != 2 || len(parallel) != 2 {
+		t.Fatalf("cell counts: %d vs %d, want 2", len(serial), len(parallel))
+	}
+	for k, a := range serial {
+		if !bytes.Contains(a, []byte("pim-staterefresh")) {
+			t.Errorf("cell %s recorded no State Refresh traffic; scenario not exercising the fix", k)
+		}
+		if !bytes.Equal(a, parallel[k]) {
+			t.Errorf("cell %s: JSONL differs between workers=1 and workers=8 with State Refresh on", k)
+		}
+	}
+}
+
 // The Perfetto export of the Figure 1 handover must carry per-node
 // state-machine tracks: the mobile node's binding lifecycle, the home
 // agent's binding cache, PIM per-(S,G) machines and MLD listener state.

@@ -9,3 +9,8 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Allocation-regression gate. The alloc-budget tests carry //go:build !race
+# (the race runtime's instrumented allocation counts are meaningless), so the
+# race pass above skips them; run them in a plain pass here.
+go test -run 'AllocFree|AllocBudget' ./internal/sim ./internal/netem ./internal/ipv6
