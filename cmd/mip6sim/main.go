@@ -109,6 +109,11 @@ func main() {
 		if e.HasParam("unsolicited") {
 			p["unsolicited"] = *unsolicited
 		}
+		// The chaos sweep writes per-timeline traces itself; hand it the
+		// trace directory so violating seeds come with a replayable JSONL.
+		if *traceOut != "" && e.HasParam("tracedir") {
+			p["tracedir"] = *traceOut
+		}
 
 		// Trace capture: record the experiment's first timeline cell
 		// (point 0, replicate 0 — the master seed's run). The factory may

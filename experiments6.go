@@ -1,0 +1,248 @@
+package mip6mcast
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"mip6mcast/internal/check"
+	"mip6mcast/internal/exp"
+	"mip6mcast/internal/mld"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/obs"
+	"mip6mcast/internal/scenario"
+	"mip6mcast/internal/sim"
+)
+
+// CHAOS — the fault-injection sweep. Each cell runs the Figure 1 movement
+// scenario under one impairment profile (loss, jitter, reordering,
+// duplication, Gilbert–Elliott bursts, corruption, link flaps, a router
+// crash/restart), heals the network, lets the protocols quiesce and then
+// asserts the convergence invariants of internal/check. The protocols are
+// supposed to converge through any finite amount of impairment, so every
+// violation is a bug; the outcome carries the replicate's seed and (when a
+// trace directory is configured) a JSONL trace for deterministic replay.
+
+// chaosCell is one impairment profile of the matrix.
+type chaosCell struct {
+	name string
+	// loss is an independent per-delivery loss rate applied to every link.
+	loss float64
+	// imp builds the cell's Impairment (nil: none). A fresh value per
+	// timeline keeps cells self-contained even though Impairment is
+	// read-only at runtime.
+	imp func() *netem.Impairment
+	// flap cuts L3 (the backbone link) for 14 s mid-churn.
+	flap bool
+	// crash fails router D — home agent for L4/L5 and the only router on
+	// R3's home link — for 8 s mid-churn.
+	crash bool
+}
+
+func chaosMatrix() []chaosCell {
+	return []chaosCell{
+		{name: "baseline"},
+		{name: "loss-10", loss: 0.10},
+		{name: "jitter-30ms", imp: func() *netem.Impairment {
+			return &netem.Impairment{Jitter: 30 * time.Millisecond}
+		}},
+		{name: "reorder-15", imp: func() *netem.Impairment {
+			return &netem.Impairment{ReorderProb: 0.15, ReorderDelay: 50 * time.Millisecond}
+		}},
+		{name: "dup-15", imp: func() *netem.Impairment {
+			return &netem.Impairment{DupProb: 0.15}
+		}},
+		{name: "burst-ge", imp: func() *netem.Impairment {
+			return &netem.Impairment{PGB: 0.05, PBG: 0.25, GoodLoss: 0.01, BadLoss: 0.5}
+		}},
+		{name: "corrupt-5", imp: func() *netem.Impairment {
+			return &netem.Impairment{CorruptProb: 0.05}
+		}},
+		{name: "flap-L3", flap: true},
+		{name: "crash-D", crash: true},
+		{name: "all-in", loss: 0.05, flap: true, crash: true,
+			imp: func() *netem.Impairment {
+				return &netem.Impairment{
+					Jitter: 20 * time.Millisecond, ReorderProb: 0.10,
+					DupProb: 0.10, CorruptProb: 0.02,
+					PGB: 0.03, PBG: 0.3, GoodLoss: 0.005, BadLoss: 0.3,
+				}
+			}},
+	}
+}
+
+// ChaosOutcome is one (cell, replicate) timeline's verdict.
+type ChaosOutcome struct {
+	Cell string
+	// Seed replays the timeline: mip6sim -experiment chaos -seed <Seed>
+	// -replicates 1 reruns this exact event sequence.
+	Seed       int64
+	Violations []string
+	// TracePath is the timeline's JSONL trace ("" when tracing is off).
+	TracePath string
+	// DelivR1 and DelivR3 are whole-run delivery ratios (R3 churns, so its
+	// ratio reflects the leave/rejoin/move windows, not protocol failure).
+	DelivR1, DelivR3 float64
+	// Link-level impairment counters summed over all links.
+	Lost, Dup, Corrupted uint64
+}
+
+// chaosTune applies the sweep's protocol configuration: fast MLD timers so
+// membership horizons fit the run, and PIM State Refresh so prune state
+// heals without waiting out PruneHoldtime re-floods (lost override Joins
+// and crashed-router state both recover through refresh rounds).
+func chaosTune(opt Options) Options {
+	opt = opt.WithMLD(mld.FastConfig(10 * time.Second))
+	opt.PIM.StateRefreshInterval = 20 * time.Second
+	return opt
+}
+
+// runChaosOne drives one timeline: settle (0–15 s), impaired churn
+// (15–75 s: leave/rejoin, two moves, optional flap and crash), heal at
+// 75 s, quiesce to 150 s, then check invariants.
+func runChaosOne(opt Options, cell chaosCell, tracedir string) ChaosOutcome {
+	rec := opt.Obs
+	if rec == nil {
+		rec = obs.NewRecorder(nil)
+		opt.Obs = rec
+	}
+	r := NewRun(opt, LocalMembership, 200*time.Millisecond, 256)
+	f := r.F
+
+	f.Run(15 * time.Second) // registrations, joins, tree built
+
+	var imp *netem.Impairment
+	if cell.imp != nil {
+		imp = cell.imp()
+	}
+	for _, l := range f.Links {
+		l.Impair = imp
+		l.LossRate = cell.loss
+	}
+
+	f.Run(5 * time.Second) // t=20
+	r.Services["R3"].Leave(Group)
+	f.Run(8 * time.Second) // t=28
+	r.Services["R3"].Join(Group)
+	f.Run(7 * time.Second) // t=35
+	r.MoveHost("R3", "L5")
+	f.Run(10 * time.Second) // t=45
+	if cell.crash {
+		r.CrashRouter("D")
+	}
+	if cell.flap {
+		f.Links["L3"].SetUp(false)
+	}
+	f.Run(8 * time.Second) // t=53
+	if cell.crash {
+		r.RestartRouter("D")
+	}
+	f.Run(6 * time.Second) // t=59
+	if cell.flap {
+		f.Links["L3"].SetUp(true)
+	}
+	f.Run(6 * time.Second) // t=65
+	r.MoveHost("R3", "L4") // back home
+	f.Run(10 * time.Second) // t=75: heal
+	for _, l := range f.Links {
+		l.Impair = nil
+		l.LossRate = 0
+	}
+	f.Run(75 * time.Second) // quiesce to t=150
+
+	expct := check.Expectation{
+		Source:  f.Hosts["S"].MN.HomeAddress,
+		Group:   Group,
+		Members: map[string]bool{"R1": true, "R2": true, "R3": true},
+	}
+	vs := check.Converged(f, expct)
+	retry := opt.PIM.GraftRetry
+	if retry == 0 {
+		retry = DefaultPIMConfig().GraftRetry
+	}
+	vs = append(vs, check.GraftLiveness(rec.Events(), retry, 2*time.Second, f.Sched.Now())...)
+
+	out := ChaosOutcome{Cell: cell.name, Seed: opt.Seed}
+	for _, v := range vs {
+		out.Violations = append(out.Violations, v.String())
+	}
+	if sent := float64(r.CBR.Sent); sent > 0 {
+		end := sim.Time(1 << 62)
+		out.DelivR1 = float64(r.Probes["R1"].CountBetween(0, end)) / sent
+		out.DelivR3 = float64(r.Probes["R3"].CountBetween(0, end)) / sent
+	}
+	for _, l := range f.Links {
+		out.Lost += l.LostDeliveries
+		out.Dup += l.DupDeliveries
+		out.Corrupted += l.CorruptedDeliveries
+	}
+	if tracedir != "" {
+		out.TracePath = writeChaosTrace(tracedir, cell.name, opt.Seed, rec)
+	}
+	return out
+}
+
+// writeChaosTrace exports one timeline's JSONL trace. The file name embeds
+// the cell and seed, so reruns with different worker counts produce the
+// same file set with identical bytes — the determinism artifact the CI
+// smoke diffs. Returns "" on I/O failure (the experiment result still
+// carries the violations; tracing is best-effort).
+func writeChaosTrace(dir, cell string, seed int64, rec *obs.Recorder) string {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-%s-seed%d.jsonl", cell, seed))
+	w, err := os.Create(path)
+	if err != nil {
+		return ""
+	}
+	if err := rec.WriteJSONL(w); err != nil {
+		w.Close()
+		return ""
+	}
+	if err := w.Close(); err != nil {
+		return ""
+	}
+	return path
+}
+
+func runExpChaos(ctx exp.Context, p exp.Params) exp.Result {
+	ctx.Opt = chaosTune(ctx.Opt)
+	tracedir := p.Str("tracedir")
+	cells := chaosMatrix()
+	points := make([]string, len(cells))
+	for i, c := range cells {
+		points[i] = c.name
+	}
+	spec := exp.SweepSpec{
+		Points:  points,
+		Columns: []string{"violations", "deliv-R1", "deliv-R3", "lost", "dup"},
+		Run: func(opt scenario.Options, pt int) (map[string]float64, any) {
+			res := runChaosOne(opt, cells[pt], tracedir)
+			return map[string]float64{
+				"violations": float64(len(res.Violations)),
+				"deliv-R1":   res.DelivR1,
+				"deliv-R3":   res.DelivR3,
+				"lost":       float64(res.Lost),
+				"dup":        float64(res.Dup),
+			}, res
+		},
+	}
+	return exp.SweepResult("CHAOS: impairment matrix with invariant checks",
+		spec.Columns, exp.Sweep(ctx, spec))
+}
+
+// ChaosViolations flattens every violating outcome of a chaos result (for
+// reports and tests): each entry carries cell, seed and trace path.
+func ChaosViolations(res exp.Result) []ChaosOutcome {
+	var out []ChaosOutcome
+	for _, pt := range res.Stats {
+		for _, raw := range pt.Raw {
+			if o, ok := raw.(ChaosOutcome); ok && len(o.Violations) > 0 {
+				out = append(out, o)
+			}
+		}
+	}
+	return out
+}

@@ -124,6 +124,42 @@ func (r *Run) AddMobileReceiver(name, homeLink string, iid uint64) *core.Service
 	return svc
 }
 
+// CrashRouter fails a router including the harness-level home-agent
+// services riding on it: each affected core.HAService is stopped (its
+// tunnel-query ticker and listener timers die with the router) and removed,
+// then the scenario-level crash tears down the protocol engines and node.
+func (r *Run) CrashRouter(name string) {
+	router, ok := r.F.Routers[name]
+	if !ok {
+		return
+	}
+	for _, ha := range router.HomeAgents() {
+		if svc := r.HAServiceFor(ha); svc != nil {
+			svc.Stop()
+			for i, s := range r.HAServices {
+				if s == svc {
+					r.HAServices = append(r.HAServices[:i], r.HAServices[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	r.F.CrashRouter(name)
+}
+
+// RestartRouter revives a crashed router and rebuilds its home-agent
+// services on the fresh engines (same wiring as NewRun).
+func (r *Run) RestartRouter(name string) {
+	router, ok := r.F.Routers[name]
+	if !ok {
+		return
+	}
+	r.F.RestartRouter(name)
+	for _, ha := range router.HomeAgents() {
+		r.HAServices = append(r.HAServices, core.NewHAService(ha, router.PIM, nil, r.F.Opt.MLD))
+	}
+}
+
 // WatchLink starts (or returns) a data-class watcher on a link.
 func (r *Run) WatchLink(name string) *LinkWatch {
 	if w, ok := r.watchers[name]; ok {

@@ -1,0 +1,383 @@
+// Package check asserts convergence invariants over a settled Figure 1
+// network: once churn quiesces (links healed, crashed routers restarted,
+// membership stable), the distributed protocol state must agree with what
+// the topology and the membership ground truth demand. The chaos
+// experiments run these checks after every impairment scenario; a
+// violation means a protocol bug, not an unlucky seed — PIM-DM, MLD and
+// the binding protocols are all supposed to converge through any finite
+// amount of loss, reordering, duplication and restarts.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/obs"
+	"mip6mcast/internal/pimdm"
+	"mip6mcast/internal/scenario"
+	"mip6mcast/internal/sim"
+)
+
+// Violation is one invariant breach.
+type Violation struct {
+	// Invariant identifies the broken property: "black-hole", "leak",
+	// "zombie-sg", "zombie-mld", "zombie-binding", "missing-binding",
+	// "graft-pending", "graft-unanswered".
+	Invariant string
+	// Node is the router or host the violation is attributed to ("" when
+	// it is a link/tree-level property).
+	Node string
+	// Detail describes the breach.
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.Node == "" {
+		return v.Invariant + ": " + v.Detail
+	}
+	return v.Invariant + "(" + v.Node + "): " + v.Detail
+}
+
+// Expectation is the membership ground truth the checker validates the
+// protocol state against.
+type Expectation struct {
+	// Source and Group identify the data flow under test.
+	Source ipv6.Addr
+	Group  ipv6.Addr
+	// Members maps host name to current membership of Group. Hosts not
+	// listed are treated as non-members.
+	Members map[string]bool
+}
+
+// Converged runs every quiesced-state invariant and returns all breaches
+// (empty slice: the network converged correctly). It must be called on a
+// healed topology — links up, crashed routers restarted — after enough
+// settle time for the protocols' own convergence horizons (last-listener
+// rounds, graft retries, prune expiry or a State Refresh interval).
+func Converged(f *scenario.Network, exp Expectation) []Violation {
+	var out []Violation
+	out = append(out, ForwardingSet(f, exp)...)
+	out = append(out, NoZombies(f, exp)...)
+	out = append(out, GraftsResolved(f)...)
+	return out
+}
+
+// linkDemand computes, per link name, whether any member host currently
+// attached to it demands Group there (receive-local membership follows the
+// host's attachment).
+func linkDemand(f *scenario.Network, exp Expectation) map[string]bool {
+	demand := map[string]bool{}
+	for name, member := range exp.Members {
+		if !member {
+			continue
+		}
+		h, ok := f.Hosts[name]
+		if !ok || h.Iface.Link == nil {
+			continue
+		}
+		demand[h.Iface.Link.Name] = true
+	}
+	return demand
+}
+
+// rpfLinkOf returns the link name a router's RPF interface toward src uses
+// ("" if unroutable).
+func rpfLinkOf(f *scenario.Network, r *scenario.Router, src ipv6.Addr) string {
+	ifc, _, ok := f.Dom.TableOf(r.Node).RPFInterface(src)
+	if !ok || ifc == nil || ifc.Link == nil {
+		return ""
+	}
+	return ifc.Link.Name
+}
+
+// ForwardingSet asserts invariant (a): the set of links that carry (S,G)
+// data — walked through the routers' actual forwarding state from the
+// source link down — equals the RPF tree minus pruned leaves, i.e. exactly
+// the links justified by member demand plus the transit links reaching
+// them. A justified link missing from the walk is a black hole (someone
+// pruned or lost state that demand requires); an unjustified link present
+// is a leak (a prune that never converged).
+func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
+	srcLink := f.Dom.LinkFor(exp.Source)
+	if srcLink == nil {
+		return []Violation{{Invariant: "black-hole", Detail: "source " + exp.Source.String() + " is not on any link"}}
+	}
+	demand := linkDemand(f, exp)
+
+	// need(router): the router must receive (S,G) on its RPF link — it has
+	// node-local members (HA subscriptions) or forwards to a justified
+	// link. justified(link): some attached entity wants the traffic.
+	// Mutually recursive; fixpoint by iteration (the topology is tiny).
+	need := map[string]bool{}
+	justified := map[string]bool{srcLink.Name: true}
+	for ln := range demand {
+		justified[ln] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, rn := range scenario.RouterNames() {
+			r := f.Routers[rn]
+			if need[rn] {
+				continue
+			}
+			rpf := rpfLinkOf(f, r, exp.Source)
+			n := r.PIM.HasLocalMember(exp.Group)
+			for _, ifc := range r.Node.Ifaces {
+				if ifc.Link == nil || ifc.Link.Name == rpf {
+					continue
+				}
+				if demand[ifc.Link.Name] {
+					n = true
+				}
+				// A downstream router on this link needing traffic pulls
+				// it through us only if its RPF points at this link.
+				for _, dn := range scenario.RouterNames() {
+					if dn == rn || !need[dn] {
+						continue
+					}
+					if rpfLinkOf(f, f.Routers[dn], exp.Source) == ifc.Link.Name {
+						n = true
+					}
+				}
+			}
+			if n {
+				need[rn] = true
+				changed = true
+			}
+		}
+		for _, rn := range scenario.RouterNames() {
+			if !need[rn] {
+				continue
+			}
+			if ln := rpfLinkOf(f, f.Routers[rn], exp.Source); ln != "" && !justified[ln] {
+				justified[ln] = true
+				changed = true
+			}
+		}
+	}
+
+	// Walk actual delivery: start at the source link; a router whose RPF
+	// link is reached and whose (S,G) entry forwards onto further links
+	// extends the set. A router with no entry floods on arrival (dense
+	// mode), so treat it as forwarding everywhere it would flood.
+	delivered := map[string]bool{srcLink.Name: true}
+	for changed := true; changed; {
+		changed = false
+		for _, rn := range scenario.RouterNames() {
+			r := f.Routers[rn]
+			rpf := rpfLinkOf(f, r, exp.Source)
+			if rpf == "" || !delivered[rpf] {
+				continue
+			}
+			var fwd []string
+			if info, ok := findEntry(r, exp.Source, exp.Group); ok {
+				if !info.PrunedUpstream || info.GraftPending {
+					fwd = info.ForwardingOn
+				}
+				// An upstream-pruned entry stops the flow here: data no
+				// longer reaches this router, so nothing continues.
+				if info.PrunedUpstream && !info.GraftPending {
+					fwd = nil
+				}
+			} else {
+				// No state: the next datagram floods per shouldForward.
+				for _, ifc := range r.Node.Ifaces {
+					if ifc.Link == nil || ifc.Link.Name == rpf || !ifc.Up() {
+						continue
+					}
+					fwd = append(fwd, ifc.Link.Name)
+				}
+			}
+			for _, ln := range fwd {
+				if !delivered[ln] {
+					delivered[ln] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	var out []Violation
+	for _, ln := range scenario.LinkNames() {
+		switch {
+		case justified[ln] && !delivered[ln]:
+			out = append(out, Violation{Invariant: "black-hole", Detail: fmt.Sprintf("link %s demands (%s,%s) but the forwarding state never delivers it", ln, exp.Source, exp.Group)})
+		case delivered[ln] && !justified[ln]:
+			out = append(out, Violation{Invariant: "leak", Detail: fmt.Sprintf("link %s carries (%s,%s) with no member or downstream demand", ln, exp.Source, exp.Group)})
+		}
+	}
+	return out
+}
+
+func findEntry(r *scenario.Router, src, group ipv6.Addr) (pimdm.SGInfo, bool) {
+	for _, info := range r.PIM.Entries() {
+		if info.Source == src && info.Group == group {
+			return info, true
+		}
+	}
+	return pimdm.SGInfo{}, false
+}
+
+// NoZombies asserts invariant (b): no state owned by a dead incarnation or
+// a departed host survives — every (S,G) entry is RPF-consistent with
+// current routing, MLD listener records match where member hosts actually
+// sit, and the binding caches reflect each host's true location.
+func NoZombies(f *scenario.Network, exp Expectation) []Violation {
+	var out []Violation
+
+	// (S,G) entries must agree with the (static) routing domain: an entry
+	// whose recorded upstream is not the router's current RPF link is a
+	// relic of a dead incarnation or a forged message.
+	for _, rn := range scenario.RouterNames() {
+		r := f.Routers[rn]
+		for _, info := range r.PIM.Entries() {
+			want := rpfLinkOf(f, r, info.Source)
+			got := info.Upstream
+			if want != got {
+				out = append(out, Violation{
+					Invariant: "zombie-sg", Node: rn,
+					Detail: fmt.Sprintf("(%s,%s) upstream %q but RPF says %q", info.Source, info.Group, got, want),
+				})
+			}
+		}
+	}
+
+	// MLD listener state must match ground truth per link.
+	demand := linkDemand(f, exp)
+	for _, rn := range scenario.RouterNames() {
+		r := f.Routers[rn]
+		for _, ifc := range r.Node.Ifaces {
+			if ifc.Link == nil {
+				continue
+			}
+			has := r.MLD.HasListeners(ifc, exp.Group)
+			want := demand[ifc.Link.Name]
+			if has && !want {
+				out = append(out, Violation{
+					Invariant: "zombie-mld", Node: rn,
+					Detail: fmt.Sprintf("listener record for %s on %s with no member host attached", exp.Group, ifc.Link.Name),
+				})
+			} else if !has && want {
+				out = append(out, Violation{
+					Invariant: "zombie-mld", Node: rn,
+					Detail: fmt.Sprintf("no listener record for %s on %s despite a member host", exp.Group, ifc.Link.Name),
+				})
+			}
+		}
+	}
+
+	// Binding caches: an away host must be bound at its home agent with
+	// its current care-of address; a host at home must not linger.
+	hosts := make([]string, 0, len(f.Hosts))
+	for name := range f.Hosts {
+		hosts = append(hosts, name)
+	}
+	sort.Strings(hosts)
+	for _, name := range hosts {
+		h := f.Hosts[name]
+		ha := f.HomeAgentOf(name)
+		if ha == nil {
+			continue
+		}
+		var bound *ipv6.Addr
+		for _, b := range ha.Bindings() {
+			if b.Home == h.MN.HomeAddress {
+				co := b.CareOf
+				bound = &co
+			}
+		}
+		if h.MN.AtHome() {
+			if bound != nil {
+				out = append(out, Violation{
+					Invariant: "zombie-binding", Node: ha.Node.Name,
+					Detail: fmt.Sprintf("binding for %s (host %s is at home)", h.MN.HomeAddress, name),
+				})
+			}
+			continue
+		}
+		if bound == nil {
+			out = append(out, Violation{
+				Invariant: "missing-binding", Node: ha.Node.Name,
+				Detail: fmt.Sprintf("host %s is away but %s holds no binding", name, ha.Node.Name),
+			})
+		} else if *bound != h.MN.CareOf() {
+			out = append(out, Violation{
+				Invariant: "zombie-binding", Node: ha.Node.Name,
+				Detail: fmt.Sprintf("host %s bound to stale care-of %s (current %s)", name, *bound, h.MN.CareOf()),
+			})
+		}
+	}
+	return out
+}
+
+// GraftsResolved asserts the quiesced half of invariant (c): no router is
+// still waiting for a Graft-Ack once churn has stopped — with a live RPF
+// neighbor, every pending graft must have been acknowledged (or
+// retransmitted into acknowledgment) by now.
+func GraftsResolved(f *scenario.Network) []Violation {
+	var out []Violation
+	for _, rn := range scenario.RouterNames() {
+		r := f.Routers[rn]
+		for _, info := range r.PIM.Entries() {
+			if info.GraftPending {
+				out = append(out, Violation{
+					Invariant: "graft-pending", Node: rn,
+					Detail: fmt.Sprintf("(%s,%s) still awaiting Graft-Ack at quiesce", info.Source, info.Group),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// GraftLiveness asserts the trace half of invariant (c) over a recorded
+// timeline: every "graft-sent" instant is followed — within the retry
+// interval plus slack — by a "graft-ack", another "graft-sent" (the
+// retransmission), or the end of the entry's life ("sg-deleted"). events
+// must be a full run recording (obs.Recorder.Events()); horizon bounds the
+// check so grafts still in their first retry window at the end of the
+// trace are not false positives.
+func GraftLiveness(events []obs.Event, retry time.Duration, slack time.Duration, horizon sim.Time) []Violation {
+	window := retry + slack
+	var out []Violation
+	for i, ev := range events {
+		if ev.Cat != obs.CatInstant || ev.Name != "graft-sent" {
+			continue
+		}
+		deadline := ev.At.Add(window)
+		if deadline > horizon {
+			continue // still inside its retry window at trace end
+		}
+		resolved := false
+		for _, later := range events[i+1:] {
+			if later.At > deadline {
+				break
+			}
+			if later.Node != ev.Node || later.Track != ev.Track {
+				continue
+			}
+			if later.Cat == obs.CatInstant && (later.Name == "graft-ack" || later.Name == "graft-sent" || later.Name == "sg-deleted") {
+				resolved = true
+				break
+			}
+		}
+		if !resolved {
+			out = append(out, Violation{
+				Invariant: "graft-unanswered", Node: ev.Node,
+				Detail: fmt.Sprintf("graft at %v on %q neither acked nor retried within %v", ev.At, ev.Track, window),
+			})
+		}
+	}
+	return out
+}
+
+// Format renders violations one per line (for logs and test failures).
+func Format(vs []Violation) string {
+	s := ""
+	for _, v := range vs {
+		s += v.String() + "\n"
+	}
+	return s
+}

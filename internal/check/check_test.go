@@ -1,0 +1,136 @@
+package check_test
+
+import (
+	"testing"
+	"time"
+
+	"mip6mcast/internal/check"
+	"mip6mcast/internal/obs"
+	"mip6mcast/internal/scenario"
+	"mip6mcast/internal/sim"
+)
+
+// drive sends CBR-ish multicast from S while the sim advances, so PIM
+// state exists on every router before the checker runs.
+func drive(f *scenario.Network, n int, gap time.Duration) {
+	for i := 0; i < n; i++ {
+		f.SendLocalMulticast("S", scenario.Group, []byte("chaos-check"))
+		f.Run(gap)
+	}
+}
+
+func TestConvergedCleanNetwork(t *testing.T) {
+	f := scenario.NewFigure1(scenario.DefaultOptions())
+	f.Settle()
+	for _, name := range []string{"R1", "R3"} {
+		h := f.Hosts[name]
+		h.MLD.Join(h.Iface, scenario.Group)
+	}
+	f.Run(2 * time.Second)
+	drive(f, 20, 500*time.Millisecond)
+
+	exp := check.Expectation{
+		Source:  f.Hosts["S"].MN.HomeAddress,
+		Group:   scenario.Group,
+		Members: map[string]bool{"R1": true, "R3": true},
+	}
+	if vs := check.Converged(f, exp); len(vs) != 0 {
+		t.Fatalf("clean converged network reports violations:\n%s", check.Format(vs))
+	}
+}
+
+func TestConvergedDetectsMembershipMismatch(t *testing.T) {
+	f := scenario.NewFigure1(scenario.DefaultOptions())
+	f.Settle()
+	h := f.Hosts["R3"]
+	h.MLD.Join(h.Iface, scenario.Group)
+	f.Run(2 * time.Second)
+	drive(f, 10, 500*time.Millisecond)
+
+	// Ground truth says R3 left, but it hasn't: the tree still reaches L4,
+	// which the checker must flag as a leak plus zombie MLD state.
+	exp := check.Expectation{
+		Source:  f.Hosts["S"].MN.HomeAddress,
+		Group:   scenario.Group,
+		Members: map[string]bool{},
+	}
+	vs := check.Converged(f, exp)
+	var leak, zombie bool
+	for _, v := range vs {
+		if v.Invariant == "leak" {
+			leak = true
+		}
+		if v.Invariant == "zombie-mld" {
+			zombie = true
+		}
+	}
+	if !leak || !zombie {
+		t.Fatalf("expected leak + zombie-mld for phantom member, got:\n%s", check.Format(vs))
+	}
+}
+
+func TestConvergedAfterLeave(t *testing.T) {
+	f := scenario.NewFigure1(scenario.DefaultOptions())
+	f.Settle()
+	for _, name := range []string{"R1", "R3"} {
+		h := f.Hosts[name]
+		h.MLD.Join(h.Iface, scenario.Group)
+	}
+	f.Run(2 * time.Second)
+	drive(f, 10, 500*time.Millisecond)
+
+	h := f.Hosts["R3"]
+	h.MLD.Leave(h.Iface, scenario.Group)
+	// Last-listener rounds + prune propagation, with traffic flowing so
+	// prune state is exercised rather than idle.
+	drive(f, 20, 500*time.Millisecond)
+
+	exp := check.Expectation{
+		Source:  f.Hosts["S"].MN.HomeAddress,
+		Group:   scenario.Group,
+		Members: map[string]bool{"R1": true},
+	}
+	if vs := check.Converged(f, exp); len(vs) != 0 {
+		t.Fatalf("post-leave network reports violations:\n%s", check.Format(vs))
+	}
+}
+
+func TestGraftLiveness(t *testing.T) {
+	at := func(s float64) sim.Time { return sim.Time(time.Duration(s * float64(time.Second))) }
+	retry, slack := 3*time.Second, time.Second
+	horizon := at(60)
+
+	acked := []obs.Event{
+		{At: at(1), Cat: obs.CatInstant, Node: "D", Track: "pim s>g up", Name: "graft-sent"},
+		{At: at(1.2), Cat: obs.CatInstant, Node: "D", Track: "pim s>g up", Name: "graft-ack"},
+	}
+	if vs := check.GraftLiveness(acked, retry, slack, horizon); len(vs) != 0 {
+		t.Errorf("acked graft flagged:\n%s", check.Format(vs))
+	}
+
+	retried := []obs.Event{
+		{At: at(1), Cat: obs.CatInstant, Node: "D", Track: "pim s>g up", Name: "graft-sent"},
+		{At: at(4), Cat: obs.CatInstant, Node: "D", Track: "pim s>g up", Name: "graft-sent"},
+		{At: at(4.5), Cat: obs.CatInstant, Node: "D", Track: "pim s>g up", Name: "graft-ack"},
+	}
+	if vs := check.GraftLiveness(retried, retry, slack, horizon); len(vs) != 0 {
+		t.Errorf("retried graft flagged:\n%s", check.Format(vs))
+	}
+
+	lost := []obs.Event{
+		{At: at(1), Cat: obs.CatInstant, Node: "D", Track: "pim s>g up", Name: "graft-sent"},
+		// Ack on a different track must not satisfy the graft.
+		{At: at(2), Cat: obs.CatInstant, Node: "D", Track: "pim other up", Name: "graft-ack"},
+	}
+	if vs := check.GraftLiveness(lost, retry, slack, horizon); len(vs) != 1 {
+		t.Errorf("lost graft not flagged exactly once: %v", vs)
+	}
+
+	// A graft still inside its retry window at trace end is not a bug.
+	tail := []obs.Event{
+		{At: at(58), Cat: obs.CatInstant, Node: "D", Track: "pim s>g up", Name: "graft-sent"},
+	}
+	if vs := check.GraftLiveness(tail, retry, slack, horizon); len(vs) != 0 {
+		t.Errorf("trace-end graft flagged:\n%s", check.Format(vs))
+	}
+}

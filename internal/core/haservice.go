@@ -44,10 +44,20 @@ type HAService struct {
 	// Stats.
 	TunneledQueriesSent uint64
 
-	memberRefs    map[ipv6.Addr]int                      // group -> #bindings subscribed
-	bindingGroups map[ipv6.Addr]map[ipv6.Addr]bool       // home -> groups (current view)
-	mldListeners  map[ipv6.Addr]map[ipv6.Addr]*sim.Timer // home -> group -> TMLI expiry
+	memberRefs    map[ipv6.Addr]int                            // group -> #bindings subscribed
+	bindingGroups map[ipv6.Addr]map[ipv6.Addr]bool             // home -> groups (current view)
+	mldListeners  map[ipv6.Addr]map[ipv6.Addr]*tunnelListener // home -> group
 	queryTicker   *sim.Ticker
+}
+
+// tunnelListener is the per-(binding, group) listener record for tunneled
+// MLD: the Multicast Listener Interval expiry plus the address-specific
+// query retransmission state used after a tunneled Done.
+type tunnelListener struct {
+	expiry *sim.Timer
+	// Last-listener query round (RFC 2710 §7.8 robustness over the tunnel).
+	specificQueriesLeft int
+	retransmit          *sim.Timer
 }
 
 // NewHAService wires the service onto a home agent. It takes over
@@ -63,7 +73,7 @@ func NewHAService(ha *mipv6.HomeAgent, pim interface {
 		Timers:        timers,
 		memberRefs:    map[ipv6.Addr]int{},
 		bindingGroups: map[ipv6.Addr]map[ipv6.Addr]bool{},
-		mldListeners:  map[ipv6.Addr]map[ipv6.Addr]*sim.Timer{},
+		mldListeners:  map[ipv6.Addr]map[ipv6.Addr]*tunnelListener{},
 	}
 	ha.OnBinding = svc.onBinding
 	ha.OnDetunneled = svc.onDetunneled
@@ -110,9 +120,9 @@ func (svc *HAService) onBinding(ev mipv6.BindingEvent) {
 	} else {
 		delete(svc.bindingGroups, ev.Home)
 		// Tunneled-MLD listener state dies with the binding.
-		for g, t := range svc.mldListeners[ev.Home] {
-			t.Stop()
-			_ = g
+		for _, rec := range svc.mldListeners[ev.Home] {
+			rec.expiry.Stop()
+			rec.retransmit.Stop()
 		}
 		delete(svc.mldListeners, ev.Home)
 	}
@@ -179,26 +189,55 @@ func (svc *HAService) onDetunneled(b *mipv6.Binding, inner *ipv6.Packet) bool {
 func (svc *HAService) tunneledReport(home, group ipv6.Addr) {
 	groups := svc.mldListeners[home]
 	if groups == nil {
-		groups = map[ipv6.Addr]*sim.Timer{}
+		groups = map[ipv6.Addr]*tunnelListener{}
 		svc.mldListeners[home] = groups
 	}
-	t, ok := groups[group]
+	rec, ok := groups[group]
 	if !ok {
 		h, g := home, group
-		t = sim.NewTimer(svc.HA.Node.Sched(), func() { svc.expireTunneled(h, g) })
-		groups[group] = t
+		rec = &tunnelListener{}
+		s := svc.HA.Node.Sched()
+		rec.expiry = sim.NewTimer(s, func() { svc.expireTunneled(h, g) })
+		rec.retransmit = sim.NewTimer(s, func() { svc.tunnelListenerRound(h, g) })
+		groups[group] = rec
 		svc.syncBindingGroups(home)
 	}
-	t.Reset(svc.Timers.ListenerInterval())
+	// A report cancels any pending last-listener round and refreshes the
+	// listener interval.
+	rec.specificQueriesLeft = 0
+	rec.retransmit.Stop()
+	rec.expiry.Reset(svc.Timers.ListenerInterval())
 }
 
 func (svc *HAService) tunneledDone(home, group ipv6.Addr) {
-	if t, ok := svc.mldListeners[home][group]; ok {
-		// Last-listener shortcut: the tunnel has exactly one host behind
-		// it, so a Done removes membership after the last-listener query
-		// time without needing the query round-trip to decide.
-		t.Reset(svc.Timers.LastListenerQueryTime())
-		svc.sendTunneledQuery(home, group)
+	rec, ok := svc.mldListeners[home][group]
+	if !ok {
+		return
+	}
+	// Last-listener shortcut: the tunnel has exactly one host behind it,
+	// so a Done removes membership after the last-listener query time
+	// without needing the query round-trip to decide. The address-specific
+	// query still goes out Robustness times, one Last Listener Query
+	// Interval apart (RFC 2710 §7.8): over a lossy tunnel a single query
+	// must not be a single point of failure — if the one copy is lost and
+	// the mobile node still listens, its membership would silently expire
+	// and stay dark until the next General Query.
+	rec.specificQueriesLeft = svc.Timers.Robustness
+	rec.expiry.Reset(svc.Timers.LastListenerQueryTime())
+	svc.tunnelListenerRound(home, group)
+}
+
+// tunnelListenerRound sends one address-specific query of the last-listener
+// round into the tunnel and arms the next retransmission.
+func (svc *HAService) tunnelListenerRound(home, group ipv6.Addr) {
+	rec, ok := svc.mldListeners[home][group]
+	if !ok || rec.specificQueriesLeft == 0 {
+		return
+	}
+	rec.specificQueriesLeft--
+	svc.sendTunneledQuery(home, group)
+	if rec.specificQueriesLeft > 0 {
+		rec.retransmit.Reset(svc.Timers.LastListenerQueryInterval)
 	}
 }
 
@@ -207,8 +246,9 @@ func (svc *HAService) expireTunneled(home, group ipv6.Addr) {
 	if groups == nil {
 		return
 	}
-	if t, ok := groups[group]; ok {
-		t.Stop()
+	if rec, ok := groups[group]; ok {
+		rec.expiry.Stop()
+		rec.retransmit.Stop()
 		delete(groups, group)
 		if len(groups) == 0 {
 			delete(svc.mldListeners, home)
@@ -266,12 +306,14 @@ func (svc *HAService) sendTunneledQuery(home, group ipv6.Addr) {
 	}
 }
 
-// Stop halts the tunnel query schedule (end of an experiment).
+// Stop halts the tunnel query schedule and every listener timer (end of an
+// experiment, or the HA's router crashing).
 func (svc *HAService) Stop() {
 	svc.queryTicker.Stop()
 	for _, groups := range svc.mldListeners {
-		for _, t := range groups {
-			t.Stop()
+		for _, rec := range groups {
+			rec.expiry.Stop()
+			rec.retransmit.Stop()
 		}
 	}
 }

@@ -33,6 +33,7 @@ const (
 	Float
 	IntList
 	FloatList
+	String
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +49,8 @@ func (k Kind) String() string {
 		return "[]int"
 	case FloatList:
 		return "[]float"
+	case String:
+		return "string"
 	default:
 		return "?"
 	}
@@ -90,6 +93,9 @@ func (p Params) Ints(name string) []int { return p[name].([]int) }
 // Floats returns a float-list parameter. The returned slice is shared;
 // callers must not mutate it.
 func (p Params) Floats(name string) []float64 { return p[name].([]float64) }
+
+// Str returns a string parameter.
+func (p Params) Str(name string) string { return p[name].(string) }
 
 // Context carries the run-wide knobs every experiment shares: the base
 // simulation options (including the master seed), the replicate count for
@@ -233,6 +239,10 @@ func coerce(k Kind, v any) (any, error) {
 				out[i] = float64(n)
 			}
 			return out, nil
+		}
+	case String:
+		if s, ok := v.(string); ok {
+			return s, nil
 		}
 	}
 	return nil, fmt.Errorf("want %s, got %T", k, v)

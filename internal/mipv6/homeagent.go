@@ -106,6 +106,29 @@ type HomeAgent struct {
 	BindingUpdates      uint64
 	MulticastTunneled   uint64 // multicast datagrams delivered via tunnel
 	BindingRequestsSent uint64
+
+	closed bool
+}
+
+// Close tears the home agent down for a node crash: every binding's expiry
+// and refresh timers are stopped and the cache is dropped without firing
+// deregistration notifications (the consumers are being torn down too).
+// Proxy-ND entries are cleared by Node.Crash. A closed HA ignores all
+// input; build a fresh HomeAgent on restart — mobile nodes must
+// re-register, which is exactly the recovery the chaos experiments study.
+func (ha *HomeAgent) Close() {
+	if ha.closed {
+		return
+	}
+	ha.closed = true
+	for _, b := range ha.bindings {
+		b.expiry.Stop()
+		if b.refreshReq != nil {
+			b.refreshReq.Stop()
+		}
+		ha.HomeIface.RemoveProxy(b.Home)
+	}
+	ha.bindings = map[ipv6.Addr]*Binding{}
 }
 
 // NewHomeAgent installs the HA role on node for the home link reached via
@@ -155,7 +178,7 @@ func (ha *HomeAgent) BindingFor(home ipv6.Addr) (*Binding, bool) {
 
 // handleOption processes Binding Updates addressed to this home agent.
 func (ha *HomeAgent) handleOption(rx netem.RxPacket, opt ipv6.Option) bool {
-	if opt.Type != ipv6.OptBindingUpdate {
+	if ha.closed || opt.Type != ipv6.OptBindingUpdate {
 		return false
 	}
 	if !ha.Node.HasAddr(rx.Pkt.Hdr.Dst) || rx.Pkt.Hdr.Dst != ha.Address {

@@ -38,6 +38,29 @@ type Router struct {
 	QueriesSent  uint64
 	ReportsHeard uint64
 	DonesHeard   uint64
+
+	closed bool
+}
+
+// Close tears the router role down for a node crash: every timer and
+// ticker it owns (query tickers, other-querier timers, per-group expiry and
+// last-listener retransmission) is stopped without firing listener-change
+// notifications, and all state dropped. A closed router ignores all input;
+// build a fresh Router on restart.
+func (r *Router) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, st := range r.state {
+		st.otherQuerier.Stop()
+		st.queryTicker.Stop()
+		for _, rec := range st.groups {
+			rec.expiry.Stop()
+			rec.retransmit.Stop()
+		}
+	}
+	r.state = map[*netem.Interface]*routerIfaceState{}
 }
 
 type routerIfaceState struct {
@@ -72,6 +95,9 @@ func NewRouter(node *netem.Node, cfg Config) *Router {
 }
 
 func (r *Router) startIface(ifc *netem.Interface) {
+	if r.closed {
+		return
+	}
 	if _, ok := r.state[ifc]; ok {
 		return
 	}

@@ -55,6 +55,20 @@ type Router struct {
 	PrefixFor func(*netem.Interface) (ipv6.Addr, bool)
 
 	tickers map[*netem.Interface]*sim.Ticker
+	closed  bool
+}
+
+// Close stops all advertisement tickers for a node crash. A closed router
+// stays silent; build a fresh Router on restart.
+func (r *Router) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, t := range r.tickers {
+		t.Stop()
+	}
+	r.tickers = map[*netem.Interface]*sim.Ticker{}
 }
 
 // NewRouter installs the daemon on node and starts advertising.
@@ -69,6 +83,9 @@ func NewRouter(node *netem.Node, cfg RouterConfig, prefixFor func(*netem.Interfa
 }
 
 func (r *Router) startIface(ifc *netem.Interface) {
+	if r.closed {
+		return
+	}
 	if _, ok := r.tickers[ifc]; ok {
 		return
 	}
@@ -83,7 +100,7 @@ func (r *Router) startIface(ifc *netem.Interface) {
 }
 
 func (r *Router) advertise(ifc *netem.Interface) {
-	if !ifc.Up() {
+	if r.closed || !ifc.Up() {
 		return
 	}
 	ra := &icmpv6.RouterAdvert{

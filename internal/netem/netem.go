@@ -109,11 +109,38 @@ type Link struct {
 	// packet it did not originate drops it ("too-big").
 	MTU int
 
+	// Impair, when non-nil, applies the fault-injection model (jitter,
+	// reordering, duplication, burst loss, corruption) to every delivery.
+	// nil costs nothing: no RNG draws, no allocations beyond the normal
+	// delivery path.
+	Impair *Impairment
+
 	Ifaces []*Interface
 	Taps   []Tap
 
-	// LostDeliveries counts receiver-side losses injected by LossRate.
+	// Delivery accounting. Every per-receiver delivery attempt ends in
+	// exactly one of two ways — it is put on the wire toward the receiver
+	// (Delivered) or it is dropped by a loss process (LostDeliveries) — so
+	// AttemptedDeliveries == Delivered + LostDeliveries holds at all times.
+	// Duplicated deliveries count as additional attempts. Note Delivered is
+	// charged when the frame enters flight: a receiver whose interface goes
+	// down mid-flight still cost the wire its bytes.
+	AttemptedDeliveries uint64
+	Delivered           uint64
+	DeliveredBytes      uint64
+
+	// LostDeliveries counts receiver-side losses injected by LossRate and
+	// by the Impairment loss model.
 	LostDeliveries uint64
+
+	// Impairment event counters (diagnostics; all zero when Impair is nil).
+	DupDeliveries       uint64
+	ReorderedDeliveries uint64
+	CorruptedDeliveries uint64
+
+	// DownDrops counts whole transmissions discarded because the link
+	// medium was down (Link.SetUp(false)).
+	DownDrops uint64
 
 	// Raw counters (all traffic classes; classified accounting is done by
 	// metrics taps).
@@ -122,7 +149,18 @@ type Link struct {
 
 	net       *Network
 	busyUntil sim.Time
+	down      bool
+	geBad     bool // Gilbert–Elliott channel state (true = bad/bursty)
 }
+
+// SetUp raises or cuts the link medium (cable cut, dead switch — use
+// Interface.SetUp for single-port failures). While down, every transmit is
+// discarded at the sender and counted in DownDrops; frames already in
+// flight when the cut happens still arrive (propagation is not recalled).
+func (l *Link) SetUp(up bool) { l.down = !up }
+
+// Up reports whether the link medium is up.
+func (l *Link) Up() bool { return !l.down }
 
 // AddTap registers a transmission observer.
 func (l *Link) AddTap(t Tap) { l.Taps = append(l.Taps, t) }
@@ -162,8 +200,14 @@ func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) (recycl
 	s := l.net.Sched
 	now := s.Now()
 
+	if l.down {
+		l.DownDrops++
+		return true
+	}
+
 	l.TxFrames++
 	l.TxBytes += uint64(len(frame))
+	frameLen := uint64(len(frame))
 
 	pkt, decErr := ipv6.Decode(frame)
 	if decErr == nil && len(l.Taps) > 0 {
@@ -184,6 +228,15 @@ func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) (recycl
 	l.busyUntil = start.Add(txTime)
 	arrive := l.busyUntil.Add(l.Delay)
 
+	// Burst-loss channel state advances once per transmission, before the
+	// per-receiver loop, so every receiver of one frame sees the same
+	// channel condition (a burst hits the whole broadcast domain).
+	imp := l.Impair
+	var geLoss float64
+	if imp != nil {
+		geLoss = imp.stepBurst(l, s.Rand())
+	}
+
 	unicast := l2dst != nil
 	// Delivery events carry the "link" handler tag: wall time spent
 	// receiving and dispatching frames is attributed to the wire, while
@@ -196,11 +249,22 @@ func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) (recycl
 		if l2dst != nil && ifc != l2dst {
 			continue
 		}
+		l.AttemptedDeliveries++
 		if l.LossRate > 0 && s.Rand().Float64() < l.LossRate {
 			l.LostDeliveries++
 			continue
 		}
+		if geLoss > 0 && s.Rand().Float64() < geLoss {
+			l.LostDeliveries++
+			continue
+		}
+		l.Delivered++
+		l.DeliveredBytes += frameLen
 		ifc := ifc
+		if imp != nil {
+			l.impairedDeliver(ifc, arrive, frameLen, pkt, frame, decErr, unicast)
+			continue
+		}
 		if decErr == nil {
 			s.At(arrive, func() {
 				if ifc.up && ifc.Link == l {

@@ -465,4 +465,42 @@ func (n *Node) OutputOn(ifc *Interface, pkt *ipv6.Packet) error {
 	return ifc.Send(pkt)
 }
 
+// Crash simulates a node failure: every interface goes down and all
+// volatile state — protocol handler registrations, forwarding engine,
+// multicast receive filters, proxy-ND entries, reassembly buffers, learned
+// path MTUs, logical addresses — is discarded, as a reboot would. Static
+// configuration survives: interface addresses, link attachment, the route
+// table (this simulation's routing is static configuration, not a dynamic
+// IGP) and the allMcast flag (hardware mode derived from IsRouter).
+//
+// Protocol modules own timers that reference the dead state; callers must
+// Close them (pimdm.Engine.Close, mld.Router.Close, ...) alongside Crash so
+// no timer owned by the dead incarnation ever fires.
+func (n *Node) Crash() {
+	for _, ifc := range n.Ifaces {
+		ifc.SetUp(false)
+		ifc.groups = map[ipv6.Addr]int{}
+		ifc.proxies = map[ipv6.Addr]bool{}
+	}
+	n.Forwarder = nil
+	n.protoHandlers = map[uint8][]ProtoHandler{}
+	n.optionHandlers = nil
+	n.udpSocks = map[uint16][]UDPHandler{}
+	n.attachListeners = nil
+	n.mcastListeners = nil
+	n.forwardHooks = nil
+	n.reasm = nil
+	n.pathMTU = nil
+	n.logicalAddrs = nil
+}
+
+// Restart brings a crashed node's interfaces back up. The node revives with
+// empty protocol state; callers re-instantiate the protocol modules (which
+// re-register handlers, rejoin groups and restart timers).
+func (n *Node) Restart() {
+	for _, ifc := range n.Ifaces {
+		ifc.SetUp(true)
+	}
+}
+
 func (n *Node) String() string { return n.Name }

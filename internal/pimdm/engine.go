@@ -163,6 +163,38 @@ type Engine struct {
 	localMembers map[ipv6.Addr]map[*netem.Interface]int
 
 	hellos map[*netem.Interface]*sim.Ticker
+
+	closed bool
+}
+
+// Close tears the engine down for a node crash: every ticker and timer it
+// owns (hellos, neighbor expiries, all (S,G) machinery) is stopped and all
+// state is deleted, so nothing owned by the dead incarnation ever fires
+// again. A closed engine ignores all input; build a fresh Engine on
+// restart.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, t := range e.hellos {
+		t.Stop()
+	}
+	for _, nbrs := range e.neighbors {
+		for _, nb := range nbrs {
+			nb.expiry.Stop()
+		}
+	}
+	// Entries() is sorted, so teardown (and its obs emissions) is
+	// deterministic regardless of map layout.
+	for _, info := range e.Entries() {
+		if ent, ok := e.entry(info.Source, info.Group); ok {
+			e.deleteEntry(ent)
+		}
+	}
+	e.hellos = map[*netem.Interface]*sim.Ticker{}
+	e.neighbors = map[*netem.Interface]map[ipv6.Addr]*neighbor{}
+	e.localMembers = map[ipv6.Addr]map[*netem.Interface]int{}
 }
 
 type neighbor struct {
@@ -286,6 +318,9 @@ func (ent *sgEntry) obsDownTrack(ifc *netem.Interface) string {
 }
 
 func (e *Engine) startIface(ifc *netem.Interface) {
+	if e.closed {
+		return
+	}
 	if _, ok := e.hellos[ifc]; ok {
 		return
 	}
@@ -319,6 +354,9 @@ func (e *Engine) sendPIM(ifc *netem.Interface, dst ipv6.Addr, msg Message) {
 }
 
 func (e *Engine) sendHello(ifc *netem.Interface) {
+	if e.closed {
+		return
+	}
 	e.sendPIM(ifc, ipv6.AllPIMRouters, &Hello{Holdtime: e.Config.HelloHoldtime})
 	e.Stats.HellosSent++
 }
@@ -326,6 +364,9 @@ func (e *Engine) sendHello(ifc *netem.Interface) {
 // --- neighbor tracking ------------------------------------------------------
 
 func (e *Engine) handlePIM(rx netem.RxPacket) {
+	if e.closed {
+		return
+	}
 	msg, err := Parse(rx.Pkt.Hdr.Src, rx.Pkt.Hdr.Dst, rx.Pkt.Payload)
 	if err != nil {
 		return
@@ -343,7 +384,7 @@ func (e *Engine) handlePIM(rx netem.RxPacket) {
 		case TypeGraft:
 			e.onGraft(rx.Iface, rx.Pkt.Hdr.Src, m)
 		case TypeGraftAck:
-			e.onGraftAck(rx.Iface, m)
+			e.onGraftAck(rx.Iface, rx.Pkt.Hdr.Src, m)
 		}
 	case *Assert:
 		e.onAssert(rx.Iface, rx.Pkt.Hdr.Src, m)
@@ -389,6 +430,9 @@ func (e *Engine) NeighborCount(ifc *netem.Interface) int { return len(e.neighbor
 // HandleListenerChange feeds MLD listener transitions into the engine (wire
 // mld.Router.OnListenerChange to this).
 func (e *Engine) HandleListenerChange(ifc *netem.Interface, group ipv6.Addr, present bool) {
+	if e.closed {
+		return
+	}
 	s := e.Node.Sched()
 	prev := s.PushTag("pim")
 	defer s.PopTag(prev)
@@ -408,6 +452,9 @@ func (e *Engine) AddLocalMember(group ipv6.Addr) { e.addMember(group, nil) }
 func (e *Engine) RemoveLocalMember(group ipv6.Addr) { e.removeMember(group, nil) }
 
 func (e *Engine) addMember(group ipv6.Addr, ifc *netem.Interface) {
+	if e.closed {
+		return
+	}
 	m := e.localMembers[group]
 	if m == nil {
 		m = map[*netem.Interface]int{}
@@ -432,6 +479,9 @@ func (e *Engine) addMember(group ipv6.Addr, ifc *netem.Interface) {
 }
 
 func (e *Engine) removeMember(group ipv6.Addr, ifc *netem.Interface) {
+	if e.closed {
+		return
+	}
 	m := e.localMembers[group]
 	if m == nil {
 		return
@@ -451,6 +501,11 @@ func (e *Engine) removeMember(group ipv6.Addr, ifc *netem.Interface) {
 	}
 }
 
+// HasLocalMember reports whether the node itself holds membership of group
+// (AddLocalMember references — home agents subscribing for mobile nodes).
+// Invariant checkers use it to compute expected tree demand.
+func (e *Engine) HasLocalMember(group ipv6.Addr) bool { return e.hasNodeMembers(group) }
+
 func (e *Engine) hasLinkMembers(ifc *netem.Interface, group ipv6.Addr) bool {
 	return e.localMembers[group][ifc] > 0
 }
@@ -467,6 +522,9 @@ func (e *Engine) entry(src, group ipv6.Addr) (*sgEntry, bool) {
 }
 
 func (e *Engine) getOrCreate(src, group ipv6.Addr) *sgEntry {
+	if e.closed {
+		return nil
+	}
 	key := sgKey{src, group}
 	if ent, ok := e.entries[key]; ok {
 		return ent
@@ -543,6 +601,7 @@ type SGInfo struct {
 	Source, Group  ipv6.Addr
 	Upstream       string
 	PrunedUpstream bool
+	GraftPending   bool
 	ForwardingOn   []string
 	PrunedOn       []string
 }
@@ -555,6 +614,7 @@ func (e *Engine) Entries() []SGInfo {
 			Source:         key.src,
 			Group:          key.group,
 			PrunedUpstream: ent.prunedUpstream,
+			GraftPending:   ent.graftPending,
 		}
 		if ent.upstream != nil {
 			info.Upstream = ent.upstream.Link.Name
@@ -609,6 +669,9 @@ func (ent *sgEntry) hasDownstreamDemand() bool {
 
 // ForwardMulticast implements netem.MulticastForwarder.
 func (e *Engine) ForwardMulticast(rx netem.RxPacket) {
+	if e.closed {
+		return
+	}
 	src, group := rx.Pkt.Hdr.Src, rx.Pkt.Hdr.Dst
 	// Link-local-sourced packets (MLD reports to global-scope groups, etc.)
 	// are never multicast-routed and must not create state.
@@ -835,17 +898,35 @@ func (e *Engine) onGraft(ifc *netem.Interface, src ipv6.Addr, m *JoinPrune) {
 	e.Stats.GraftAcksSent++
 }
 
-func (e *Engine) onGraftAck(ifc *netem.Interface, m *JoinPrune) {
+// onGraftAck stops Graft retransmission — but only for the (S,G) entries
+// the ack actually echoes, and only when the ack is credible: it must
+// arrive on the entry's RPF interface and originate from the current RPF
+// neighbor while a graft is pending. A duplicated or reordered stale ack,
+// or an ack from a router that stopped being the RPF neighbor (e.g. after
+// an Assert), must not cancel a live retransmission: grafts are the one
+// reliable primitive in PIM-DM, and killing the retry orphans the join
+// until the next State Refresh or data-driven flood.
+func (e *Engine) onGraftAck(ifc *netem.Interface, src ipv6.Addr, m *JoinPrune) {
 	for _, g := range m.Groups {
 		for _, s := range g.Joins {
-			if ent, ok := e.entry(s, g.Group); ok {
-				if ent.graftPending && e.Obs != nil {
-					e.Obs.Instant(e.Node.Name, ent.obsUpTrack(), "graft-ack", "")
-					e.Obs.State(e.Node.Name, ent.obsUpTrack(), "forwarding", "")
-				}
-				ent.graftPending = false
-				ent.graftTimer.Stop()
+			ent, ok := e.entry(s, g.Group)
+			if !ok || !ent.graftPending || ifc != ent.upstream {
+				continue
 			}
+			// The graft was unicast to upstreamNbr (a routing-table
+			// address); the ack comes back sourced from that router's
+			// link-local. Accept the ack only if both resolve to the same
+			// attachment on the RPF link.
+			owner := ifc.Link.Resolve(ent.upstreamNbr)
+			if owner == nil || owner != ifc.Link.Resolve(src) {
+				continue
+			}
+			if e.Obs != nil {
+				e.Obs.Instant(e.Node.Name, ent.obsUpTrack(), "graft-ack", "")
+				e.Obs.State(e.Node.Name, ent.obsUpTrack(), "forwarding", "")
+			}
+			ent.graftPending = false
+			ent.graftTimer.Stop()
 		}
 	}
 }

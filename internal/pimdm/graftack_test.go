@@ -1,0 +1,166 @@
+package pimdm_test
+
+// Graft-Ack robustness: the ack handler must only act on acks arriving
+// from the RPF neighbor on the RPF interface, and must stop retransmitting
+// only the (S,G) entries the ack actually echoes. These tests pin the
+// regression where any overheard/forged/stale ack killed every pending
+// retry.
+
+import (
+	"testing"
+	"time"
+
+	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/mld"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/pimdm"
+	"mip6mcast/internal/sim"
+)
+
+var group2 = ipv6.MustParseAddr("ff0e::102")
+
+// graftPendingOf reads one entry's pending flag via the public view.
+func graftPendingOf(e *pimdm.Engine, g ipv6.Addr) (pending, found bool) {
+	for _, info := range e.Entries() {
+		if info.Group == g {
+			return info.GraftPending, true
+		}
+	}
+	return false, false
+}
+
+// forgeGraftAck injects a Graft-Ack for (src, g) onto E's RPF link, with
+// an arbitrary IPv6 source address (spoofing is the point).
+func forgeGraftAck(f *fig1, from *netem.Node, ifc *netem.Interface, ipSrc, ipDst ipv6.Addr, src, g ipv6.Addr) {
+	msg := &pimdm.JoinPrune{
+		Kind:             pimdm.TypeGraftAck,
+		UpstreamNeighbor: ipDst,
+		Groups:           []pimdm.JoinPruneGroup{{Group: g, Joins: []ipv6.Addr{src}}},
+	}
+	body, err := pimdm.Marshal(ipSrc, ipDst, msg)
+	if err != nil {
+		panic(err)
+	}
+	pkt := &ipv6.Packet{
+		Hdr:     ipv6.Header{Src: ipSrc, Dst: ipDst, HopLimit: 1},
+		Proto:   ipv6.ProtoPIM,
+		Payload: body,
+	}
+	_ = from.OutputOn(ifc, pkt)
+}
+
+// TestGraftAckValidationAndPerEntryEcho silences router D (the RPF
+// neighbor on L5) so E's grafts go unacknowledged, then feeds E forged
+// acks: one from a non-RPF host, one spoofed from D echoing only the first
+// group. Only the echoed entry may stop retrying.
+func TestGraftAckValidationAndPerEntryEcho(t *testing.T) {
+	f := newFig1(31, pimdm.DefaultConfig(), mld.FastConfig(30*time.Second))
+	_, _, s1addr := f.addSender("s1", "L1", 100*time.Millisecond)
+	// Second flow to group2 from the same source link: a slow ticker keeps
+	// both (S,G) entries alive everywhere (flooded, then pruned back).
+	s2, _, s2addr := f.addSender("s2", "L1", 100*time.Millisecond)
+	sim.NewTicker(f.s, 5*time.Second, 0, func() {
+		u := &ipv6.UDP{SrcPort: 9000, DstPort: 9000, Payload: make([]byte, 64)}
+		pkt2 := &ipv6.Packet{
+			Hdr:     ipv6.Header{Src: s2addr, Dst: group2, HopLimit: 64},
+			Proto:   ipv6.ProtoUDP,
+			Payload: u.Marshal(s2addr, group2),
+		}
+		_ = s2.OutputOn(s2.Ifaces[0], pkt2)
+	})
+	f.s.RunUntil(sim.Time(20 * time.Second)) // flood + prune converged
+
+	// A host on L6 joins both groups while D is deaf: E grafts upstream on
+	// L5 and must keep retrying.
+	h := f.net.NewNode("h6", false)
+	ih := h.AddInterface(f.links["L6"])
+	p6, _ := f.dom.PrefixOf(f.links["L6"])
+	ih.AddAddr(p6.WithInterfaceID(0x1001))
+	hm := mld.NewHost(h, mld.DefaultHostConfig())
+
+	f.engines["D"].Close() // D stops acking (and everything else)
+	f.s.Schedule(0, func() {
+		hm.Join(ih, group)
+		hm.Join(ih, group2)
+	})
+	f.s.RunUntil(sim.Time(40 * time.Second))
+
+	for _, g := range []ipv6.Addr{group, group2} {
+		if pending, found := graftPendingOf(f.engines["E"], g); !found || !pending {
+			t.Fatalf("E entry for %s: found=%v pending=%v; want a pending graft with D silenced", g, found, pending)
+		}
+	}
+	graftsBefore := f.engines["E"].Stats.GraftsSent
+
+	p5, _ := f.dom.PrefixOf(f.links["L5"])
+	eAddr := p5.WithInterfaceID(uint64('E'))
+	dAddr := p5.WithInterfaceID(uint64('D'))
+
+	// 1) Ack from a host that is not the RPF neighbor: must be ignored.
+	x := f.net.NewNode("x5", false)
+	ix := x.AddInterface(f.links["L5"])
+	xAddr := p5.WithInterfaceID(0x2002)
+	ix.AddAddr(xAddr)
+	f.s.Schedule(0, func() { forgeGraftAck(f, x, ix, xAddr, eAddr, s1addr, group) })
+	f.s.RunUntil(sim.Time(41 * time.Second))
+	if pending, _ := graftPendingOf(f.engines["E"], group); !pending {
+		t.Fatal("forged ack from non-RPF host cleared E's pending graft")
+	}
+
+	// 2) Ack spoofed from D's address echoing only `group`: that entry
+	// stops retrying, group2 must keep going.
+	f.s.Schedule(0, func() { forgeGraftAck(f, x, ix, dAddr, eAddr, s1addr, group) })
+	f.s.RunUntil(sim.Time(42 * time.Second))
+	if pending, _ := graftPendingOf(f.engines["E"], group); pending {
+		t.Fatal("ack from the RPF neighbor did not clear the echoed entry")
+	}
+	if pending, _ := graftPendingOf(f.engines["E"], group2); !pending {
+		t.Fatal("ack echoing only one (S,G) cleared the other entry's pending graft")
+	}
+
+	// group2's graft keeps retransmitting after group's stopped.
+	f.s.RunUntil(sim.Time(50 * time.Second))
+	if f.engines["E"].Stats.GraftsSent <= graftsBefore {
+		t.Fatalf("graft retransmission stopped: %d before, %d after",
+			graftsBefore, f.engines["E"].Stats.GraftsSent)
+	}
+}
+
+// TestGraftConvergesUnderDuplicationAndReorder runs the graft handshake
+// through a link that duplicates and reorders aggressively, across
+// repeated leave/join cycles. Duplicated or late-arriving stale acks must
+// never wedge a later graft: after every rejoin the receiver reconnects
+// and no graft stays pending.
+func TestGraftConvergesUnderDuplicationAndReorder(t *testing.T) {
+	f := newFig1(32, pimdm.DefaultConfig(), mld.FastConfig(30*time.Second))
+	f.addSender("s0", "L1", 50*time.Millisecond)
+	rn, h, got, _ := f.addReceiver("r6", "L6")
+	rifc := rn.Ifaces[0]
+	f.links["L5"].Impair = &netem.Impairment{
+		DupProb:      0.5,
+		ReorderProb:  0.5,
+		ReorderDelay: 20 * time.Millisecond,
+	}
+
+	last := 0
+	for cycle := 0; cycle < 5; cycle++ {
+		// Leave, drain, rejoin: every cycle re-runs prune → graft → ack
+		// through the impaired link.
+		at := sim.Time(time.Duration(20+40*cycle) * time.Second)
+		f.s.At(at, func() { h.Leave(rifc, group) })
+		f.s.At(at.Add(15*time.Second), func() { h.Join(rifc, group) })
+		f.s.RunUntil(at.Add(40 * time.Second))
+
+		cur := (*got)()
+		if cur-last < 100 {
+			t.Fatalf("cycle %d: receiver got only %d datagrams after rejoin", cycle, cur-last)
+		}
+		last = cur
+		if pending, found := graftPendingOf(f.engines["E"], group); found && pending {
+			t.Fatalf("cycle %d: graft still pending at quiesce under dup+reorder", cycle)
+		}
+	}
+	if f.engines["E"].Stats.GraftsSent == 0 {
+		t.Fatal("no grafts exercised")
+	}
+}

@@ -219,23 +219,7 @@ func NewFigure1(opt Options) *Network {
 	f.Dom.Recompute()
 
 	for _, name := range RouterNames() {
-		r := f.Routers[name]
-		r.PIM = pimdm.New(r.Node, opt.PIM, f.Dom.TableOf(r.Node))
-		r.MLD = mld.NewRouter(r.Node, opt.MLD)
-		pim := r.PIM
-		r.MLD.OnListenerChange = func(ev mld.ListenerEvent) {
-			pim.HandleListenerChange(ev.Iface, ev.Group, ev.Present)
-		}
-		r.NDP = ndp.NewRouter(r.Node, opt.NDP, func(ifc *netem.Interface) (ipv6.Addr, bool) {
-			return f.Dom.PrefixOf(ifc.Link)
-		})
-		// Home agent role on designated links.
-		for _, ifc := range r.Node.Ifaces {
-			if homeAgentFor[ifc.Link.Name] != name {
-				continue
-			}
-			r.HAs[ifc.Link.Name] = mipv6.NewHomeAgent(r.Node, ifc, ifc.GlobalAddr(), opt.HA)
-		}
+		f.startRouterProtocols(name)
 	}
 
 	for _, name := range HostNames() {
@@ -253,6 +237,81 @@ func NewFigure1(opt Options) *Network {
 		opt.OnNetwork(f)
 	}
 	return f
+}
+
+// startRouterProtocols builds the router's full protocol stack (PIM-DM,
+// MLD querier, NDP advertising, home-agent roles) on its node — used both
+// at construction and to revive a crashed router with factory-fresh state.
+func (f *Network) startRouterProtocols(name string) {
+	r := f.Routers[name]
+	opt := f.Opt
+	r.PIM = pimdm.New(r.Node, opt.PIM, f.Dom.TableOf(r.Node))
+	r.MLD = mld.NewRouter(r.Node, opt.MLD)
+	pim := r.PIM
+	r.MLD.OnListenerChange = func(ev mld.ListenerEvent) {
+		pim.HandleListenerChange(ev.Iface, ev.Group, ev.Present)
+	}
+	r.NDP = ndp.NewRouter(r.Node, opt.NDP, func(ifc *netem.Interface) (ipv6.Addr, bool) {
+		return f.Dom.PrefixOf(ifc.Link)
+	})
+	// Home agent role on designated links.
+	for _, ifc := range r.Node.Ifaces {
+		if homeAgentFor[ifc.Link.Name] != name {
+			continue
+		}
+		r.HAs[ifc.Link.Name] = mipv6.NewHomeAgent(r.Node, ifc, ifc.GlobalAddr(), opt.HA)
+	}
+}
+
+// CrashRouter fails a router: its protocol engines are closed (every timer
+// and ticker they own is cancelled), the node's dispatch state is wiped and
+// its interfaces go down. The router stays dark until RestartRouter.
+// Callers running core.HAService instances on this router's home agents
+// must Stop and rebuild those alongside (the harness wrapper does).
+func (f *Network) CrashRouter(name string) {
+	r, ok := f.Routers[name]
+	if !ok {
+		return
+	}
+	if r.PIM != nil {
+		r.PIM.Close()
+	}
+	if r.MLD != nil {
+		r.MLD.Close()
+	}
+	if r.NDP != nil {
+		r.NDP.Close()
+	}
+	for _, ha := range r.HomeAgents() {
+		ha.Close()
+	}
+	r.Node.Crash()
+	if f.obs != nil {
+		f.obs.Instant(name, "node "+name, "crash", "")
+	}
+}
+
+// RestartRouter revives a crashed router: interfaces come back up and the
+// protocol stack is rebuilt from scratch — empty neighbor tables, no (S,G)
+// state, no listener records, no bindings — exactly what a reboot leaves.
+// Recovery then happens in protocol time (hellos, queries, State Refresh,
+// mobile-node re-registration).
+func (f *Network) RestartRouter(name string) {
+	r, ok := f.Routers[name]
+	if !ok {
+		return
+	}
+	r.Node.Restart()
+	r.HAs = map[string]*mipv6.HomeAgent{}
+	f.startRouterProtocols(name)
+	if f.obs != nil {
+		f.obs.Instant(name, "node "+name, "restart", "")
+		r.PIM.AttachRecorder(f.obs)
+		r.MLD.AttachRecorder(f.obs)
+		for _, ha := range r.HomeAgents() {
+			ha.AttachRecorder(f.obs)
+		}
+	}
 }
 
 // AttachRecorder binds rec to the network's scheduler and attaches it to

@@ -107,6 +107,16 @@ func init() {
 		},
 		Run: runExpSMTU,
 	})
+	exp.Register(&exp.Experiment{
+		Name:  "chaos",
+		Desc:  "chaos: fault-injection matrix with convergence invariant checks",
+		Sweep: true,
+		Params: []exp.Param{
+			{Name: "tracedir", Desc: "write each timeline's JSONL trace under this directory for seed replay; empty disables",
+				Kind: exp.String, Default: ""},
+		},
+		Run: runExpChaos,
+	})
 }
 
 // paramTQuery is the shared MLD-tuning knob of the extension studies,

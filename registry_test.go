@@ -9,7 +9,7 @@ import (
 
 // Every paper artifact must be registered, in the canonical order.
 func TestRegistryCoversAllExperiments(t *testing.T) {
-	want := []string{"f1", "f2", "f3", "f4", "t1", "s44", "s431", "s432", "smg", "sld", "smtu"}
+	want := []string{"f1", "f2", "f3", "f4", "t1", "s44", "s431", "s432", "smg", "sld", "smtu", "chaos"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registered %v, want %v", got, want)

@@ -14,3 +14,26 @@ go test -race ./...
 # (the race runtime's instrumented allocation counts are meaningless), so the
 # race pass above skips them; run them in a plain pass here.
 go test -run 'AllocFree|AllocBudget' ./internal/sim ./internal/netem ./internal/ipv6
+
+# Chaos determinism smoke: the full fault-injection matrix at a fixed seed
+# must produce byte-identical per-timeline JSONL traces whether the sweep
+# runs serially or across 8 workers — under the race detector, since the
+# worker fan-out is exactly what could perturb it. Any diff means a
+# nondeterministic impairment draw or a cross-timeline data race.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run -race ./cmd/mip6sim -experiment chaos -replicates 1 -seed 7 \
+    -workers 1 -trace-out "$tmp/w1" > "$tmp/w1.out"
+go run -race ./cmd/mip6sim -experiment chaos -replicates 1 -seed 7 \
+    -workers 8 -trace-out "$tmp/w8" > "$tmp/w8.out"
+diff -r "$tmp/w1" "$tmp/w8"
+diff "$tmp/w1.out" "$tmp/w8.out"
+# Every matrix cell must report zero invariant violations (column 2 of the
+# rendered table).
+if awk 'NR > 2 && NF > 1 && $2 != "0" { bad = 1 } END { exit bad }' "$tmp/w1.out"; then
+    echo "chaos smoke: workers=1 and workers=8 traces byte-identical, 0 violations"
+else
+    echo "chaos smoke: invariant violations reported:" >&2
+    cat "$tmp/w1.out" >&2
+    exit 1
+fi
