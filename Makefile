@@ -22,14 +22,17 @@ race:
 check: build vet race
 
 # Benchmark evidence for the data-plane fast path: the Figure 1 macro run
-# (events/sec, B/op, allocs/op end to end), link delivery and multicast
-# fan-out micro-benches, scheduler dispatch cost, the PR2 observability
-# benches, and the PR4 impairment-hook cost (the /off case must match
-# BenchmarkMulticastFanout's allocs/op exactly — the hooks are free when
-# Impair == nil). Output is the `go test -json` event stream; baseline
-# numbers are documented in EXPERIMENTS.md.
+# (events/sec, B/op, allocs/op end to end), the PR5 procedural-topology
+# macro cells (100-router grid, 500-router Barabási–Albert with 2000
+# mobile nodes), link delivery and multicast fan-out micro-benches,
+# scheduler dispatch cost, the PR2 observability benches, and the PR4
+# impairment-hook cost (the /off case must match BenchmarkMulticastFanout's
+# allocs/op exactly — the hooks are free when Impair == nil). Output is the
+# `go test -json` event stream; baseline numbers are documented in
+# EXPERIMENTS.md. scripts/compare_bench.sh diffs the two most recent
+# BENCH_PR*.json and fails on macro regressions.
 bench:
 	$(GO) test -json -run '^$$' -benchmem \
-		-bench 'BenchmarkFigure1Macro|BenchmarkLinkDelivery|BenchmarkMulticastFanout|BenchmarkImpairmentFanout|BenchmarkFragmentationPath|BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding' \
-		./bench ./internal/netem ./internal/sim ./internal/obs . > BENCH_PR4.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR4.json | sed 's/"Output":"//;s/\\n$$//' || true
+		-bench 'BenchmarkFigure1Macro|BenchmarkScaleTopology|BenchmarkLinkDelivery|BenchmarkMulticastFanout|BenchmarkImpairmentFanout|BenchmarkFragmentationPath|BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding' \
+		./bench ./internal/netem ./internal/sim ./internal/obs . > BENCH_PR5.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR5.json | sed 's/"Output":"//;s/\\n$$//' || true

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	mip6mcast "mip6mcast"
+	"mip6mcast/internal/exp"
+)
+
+// BenchmarkScaleTopology runs one full scale-experiment cell per
+// iteration: generate the topology and workload, build the network with
+// the complete protocol stack, stream two CBR sources while the Poisson
+// handover schedule churns the mobile nodes, quiesce, and evaluate the
+// convergence invariants. The large case is a 500-router Barabási–Albert
+// graph carrying 2000 mobile nodes — the subsystem's headline capacity —
+// with the churn window shortened to keep one iteration inside CI time.
+// B/op and allocs/op are the cost of the whole cell end to end.
+func BenchmarkScaleTopology(b *testing.B) {
+	cases := []struct {
+		family       string
+		routers, mns int
+	}{
+		{"grid", 100, 400},
+		{"ba", 500, 2000},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(fmt.Sprintf("%s-r%d-mn%d", tc.family, tc.routers, tc.mns), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				opt := mip6mcast.DefaultOptions()
+				opt.Seed = int64(i + 1)
+				ctx := mip6mcast.ExpContext{
+					Opt: opt, Replicates: 1, Workers: 1,
+					Progress: func(cs exp.CellStats) { events += cs.Sched.Dispatched },
+				}
+				res, err := mip6mcast.RunExperiment("scale", ctx, mip6mcast.ExpParams{
+					"families": tc.family,
+					"routers":  []int{tc.routers},
+					"mns":      tc.mns,
+					"horizon":  30,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v := res.Stats[0].Mean("violations"); v != 0 {
+					b.Fatalf("cell reported %v invariant violations", v)
+				}
+			}
+			wall := time.Since(start).Seconds()
+			if wall > 0 {
+				b.ReportMetric(float64(events)/wall, "events/sec")
+			}
+			b.ReportMetric(float64(events)/float64(b.N), "events/run")
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"mip6mcast/internal/exp"
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/obs"
+	"mip6mcast/internal/topo"
 )
 
 func main() {
@@ -38,11 +40,26 @@ func main() {
 		unsolicited = flag.Bool("unsolicited", true, "mobile receivers send unsolicited MLD reports after moving")
 		progress    = flag.Bool("progress", false, "report per-timeline scheduler stats to stderr as cells complete")
 		traceOut    = flag.String("trace-out", "", "record each experiment's first timeline to <dir>/<id>.jsonl and <dir>/<id>.trace.json")
+		topoSpec    = flag.String("topo", "", "procedural topology spec for the scale experiment: family=tree+grid,routers=4+16,mns=8 (keys optional)")
+		dot         = flag.Bool("dot", false, "print the -topo topology (first family, first router count) as Graphviz DOT and exit")
 	)
 	flag.Parse()
 
 	if *list {
 		listExperiments()
+		return
+	}
+
+	topoParams, err := parseTopoSpec(*topoSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *dot {
+		if err := printDOT(topoParams, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		return
 	}
 
@@ -113,6 +130,13 @@ func main() {
 		// trace directory so violating seeds come with a replayable JSONL.
 		if *traceOut != "" && e.HasParam("tracedir") {
 			p["tracedir"] = *traceOut
+		}
+		// -topo keys map onto the scale experiment's parameters; other
+		// experiments (fixed Figure 1 topology) ignore them.
+		for name, v := range topoParams {
+			if e.HasParam(name) {
+				p[name] = v
+			}
 		}
 
 		// Trace capture: record the experiment's first timeline cell
@@ -197,6 +221,83 @@ func writeTraces(dir, id string, rec *obs.Recorder) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s and %s (%d events)\n", jp, pp, rec.Len())
+	return nil
+}
+
+// parseTopoSpec turns "family=tree+grid,routers=4+16,mns=8" into the
+// scale experiment's parameters. Lists use '+' because ',' separates the
+// spec's key=value pairs.
+func parseTopoSpec(spec string) (exp.Params, error) {
+	p := exp.Params{}
+	if spec == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("-topo: %q is not key=value", kv)
+		}
+		switch key {
+		case "family", "families":
+			if _, err := mip6mcast.ParseFamilies(val); err != nil {
+				return nil, fmt.Errorf("-topo: %v", err)
+			}
+			p["families"] = val
+		case "routers":
+			var routers []int
+			for _, f := range strings.Split(val, "+") {
+				n, err := strconv.Atoi(f)
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("-topo: bad router count %q", f)
+				}
+				routers = append(routers, n)
+			}
+			p["routers"] = routers
+		case "mns", "sources", "dwell", "horizon":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("-topo: bad %s count %q", key, val)
+			}
+			p[key] = n
+		case "members":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("-topo: bad member fraction %q", val)
+			}
+			p[key] = f
+		case "approach":
+			if val != "local" && val != "tunnel" {
+				return nil, fmt.Errorf("-topo: approach %q (want local or tunnel)", val)
+			}
+			p[key] = val
+		default:
+			return nil, fmt.Errorf("-topo: unknown key %q (want family, routers, mns, sources, members, dwell, horizon or approach)", key)
+		}
+	}
+	return p, nil
+}
+
+// printDOT renders the first (family, router count) of a -topo spec as
+// Graphviz DOT on stdout:
+//
+//	mip6sim -dot -topo family=waxman,routers=16 | dot -Tsvg > topo.svg
+func printDOT(topoParams exp.Params, seed int64) error {
+	family, routers := "tree", 16
+	if v, ok := topoParams["families"].(string); ok {
+		fams, err := mip6mcast.ParseFamilies(v)
+		if err != nil {
+			return err
+		}
+		family = fams[0]
+	}
+	if v, ok := topoParams["routers"].([]int); ok && len(v) > 0 {
+		routers = v[0]
+	}
+	g, err := topo.FromSpec(family, routers, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(g.DOT())
 	return nil
 }
 

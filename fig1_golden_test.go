@@ -1,0 +1,67 @@
+package mip6mcast
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/obs"
+)
+
+// TestFigure1GoldenTrace pins the Figure 1 build to a committed golden
+// trace: the full-stack handover scenario (BidirectionalTunnel services,
+// 1 s CBR on S, R3's move to L6 at 15 s, 40 s horizon, seed 42) must emit
+// a byte-identical JSONL timeline. The golden file was captured from the
+// hand-wired NewFigure1 before the build was re-expressed as a topo
+// blueprint; any divergence means the generalized builder changed the
+// construction order, an engine start order, or a timer phase — exactly
+// the regressions a topology refactor can silently introduce.
+//
+// Regenerate (only when an intentional protocol/timeline change lands)
+// with: UPDATE_FIG1_GOLDEN=1 go test -run TestFigure1GoldenTrace .
+func TestFigure1GoldenTrace(t *testing.T) {
+	opt := FastMLDOptions(10)
+	opt.Seed = 42
+	rec := obs.NewRecorder(nil)
+	opt.Obs = rec
+	f := buildHandover(opt, BidirectionalTunnel, 15*time.Second)
+	f.Run(40 * time.Second)
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorded nothing")
+	}
+
+	path := filepath.Join("testdata", "fig1_golden.jsonl")
+	if os.Getenv("UPDATE_FIG1_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d events, %d bytes)", path, rec.Len(), buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_FIG1_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(want, buf.Bytes()) {
+		// Locate the first diverging line for a useful failure message.
+		wl := bytes.Split(want, []byte("\n"))
+		gl := bytes.Split(buf.Bytes(), []byte("\n"))
+		for i := 0; i < len(wl) && i < len(gl); i++ {
+			if !bytes.Equal(wl[i], gl[i]) {
+				t.Fatalf("trace diverges from golden at line %d:\n golden: %s\n    got: %s",
+					i+1, wl[i], gl[i])
+			}
+		}
+		t.Fatalf("trace length diverges from golden: %d vs %d lines", len(wl), len(gl))
+	}
+}

@@ -99,6 +99,11 @@ func rpfLinkOf(f *scenario.Network, r *scenario.Router, src ipv6.Addr) string {
 // them. A justified link missing from the walk is a black hole (someone
 // pruned or lost state that demand requires); an unjustified link present
 // is a leak (a prune that never converged).
+//
+// Both closures run as worklists over precomputed RPF and attachment
+// maps, so the check is linear in routers + interfaces. The scale
+// experiment runs it once per source over 500-router topologies; the
+// original all-pairs fixpoint was cubic and would dominate those runs.
 func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
 	srcLink := f.Dom.LinkFor(exp.Source)
 	if srcLink == nil {
@@ -106,101 +111,113 @@ func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
 	}
 	demand := linkDemand(f, exp)
 
+	// Precompute each router's RPF link toward the source and, per link,
+	// which routers pull their (S,G) feed from it (their RPF points there).
+	routers := f.RouterOrder()
+	rpf := make(map[string]string, len(routers))
+	pullers := map[string][]string{} // link name -> routers with that RPF link
+	for _, rn := range routers {
+		ln := rpfLinkOf(f, f.Routers[rn], exp.Source)
+		rpf[rn] = ln
+		if ln != "" {
+			pullers[ln] = append(pullers[ln], rn)
+		}
+	}
+
 	// need(router): the router must receive (S,G) on its RPF link — it has
-	// node-local members (HA subscriptions) or forwards to a justified
-	// link. justified(link): some attached entity wants the traffic.
-	// Mutually recursive; fixpoint by iteration (the topology is tiny).
+	// node-local members (HA subscriptions) or forwards to a link somebody
+	// wants. Base demand seeds the worklist; each newly needy router then
+	// makes every other router attached to its RPF link needy in turn
+	// (they are the ones who would forward onto that link).
 	need := map[string]bool{}
+	var queue []string
+	markNeed := func(rn string) {
+		if !need[rn] {
+			need[rn] = true
+			queue = append(queue, rn)
+		}
+	}
+	for _, rn := range routers {
+		r := f.Routers[rn]
+		if r.PIM.HasLocalMember(exp.Group) {
+			markNeed(rn)
+			continue
+		}
+		for _, ifc := range r.Node.Ifaces {
+			if ifc.Link != nil && ifc.Link.Name != rpf[rn] && demand[ifc.Link.Name] {
+				markNeed(rn)
+				break
+			}
+		}
+	}
+	for len(queue) > 0 {
+		dn := queue[0]
+		queue = queue[1:]
+		feed := rpf[dn]
+		if feed == "" {
+			continue
+		}
+		for _, ifc := range f.Links[feed].Ifaces {
+			nb := ifc.Node
+			if !nb.IsRouter || nb.Name == dn || rpf[nb.Name] == feed {
+				continue
+			}
+			markNeed(nb.Name)
+		}
+	}
+
+	// justified(link): some attached entity wants the traffic — the source
+	// link itself, links with member demand, and every needy router's feed.
 	justified := map[string]bool{srcLink.Name: true}
 	for ln := range demand {
 		justified[ln] = true
 	}
-	for changed := true; changed; {
-		changed = false
-		for _, rn := range scenario.RouterNames() {
-			r := f.Routers[rn]
-			if need[rn] {
-				continue
-			}
-			rpf := rpfLinkOf(f, r, exp.Source)
-			n := r.PIM.HasLocalMember(exp.Group)
-			for _, ifc := range r.Node.Ifaces {
-				if ifc.Link == nil || ifc.Link.Name == rpf {
-					continue
-				}
-				if demand[ifc.Link.Name] {
-					n = true
-				}
-				// A downstream router on this link needing traffic pulls
-				// it through us only if its RPF points at this link.
-				for _, dn := range scenario.RouterNames() {
-					if dn == rn || !need[dn] {
-						continue
-					}
-					if rpfLinkOf(f, f.Routers[dn], exp.Source) == ifc.Link.Name {
-						n = true
-					}
-				}
-			}
-			if n {
-				need[rn] = true
-				changed = true
-			}
-		}
-		for _, rn := range scenario.RouterNames() {
-			if !need[rn] {
-				continue
-			}
-			if ln := rpfLinkOf(f, f.Routers[rn], exp.Source); ln != "" && !justified[ln] {
-				justified[ln] = true
-				changed = true
-			}
+	for _, rn := range routers {
+		if need[rn] && rpf[rn] != "" {
+			justified[rpf[rn]] = true
 		}
 	}
 
 	// Walk actual delivery: start at the source link; a router whose RPF
 	// link is reached and whose (S,G) entry forwards onto further links
 	// extends the set. A router with no entry floods on arrival (dense
-	// mode), so treat it as forwarding everywhere it would flood.
+	// mode), so treat it as forwarding everywhere it would flood. Each
+	// router's forward list is fixed state, so it is expanded exactly once
+	// — when its RPF link first becomes delivered.
 	delivered := map[string]bool{srcLink.Name: true}
-	for changed := true; changed; {
-		changed = false
-		for _, rn := range scenario.RouterNames() {
+	links := []string{srcLink.Name}
+	for len(links) > 0 {
+		ln := links[0]
+		links = links[1:]
+		for _, rn := range pullers[ln] {
 			r := f.Routers[rn]
-			rpf := rpfLinkOf(f, r, exp.Source)
-			if rpf == "" || !delivered[rpf] {
-				continue
-			}
 			var fwd []string
 			if info, ok := findEntry(r, exp.Source, exp.Group); ok {
-				if !info.PrunedUpstream || info.GraftPending {
-					fwd = info.ForwardingOn
-				}
 				// An upstream-pruned entry stops the flow here: data no
 				// longer reaches this router, so nothing continues.
-				if info.PrunedUpstream && !info.GraftPending {
-					fwd = nil
+				if !info.PrunedUpstream || info.GraftPending {
+					fwd = info.ForwardingOn
 				}
 			} else {
 				// No state: the next datagram floods per shouldForward.
 				for _, ifc := range r.Node.Ifaces {
-					if ifc.Link == nil || ifc.Link.Name == rpf || !ifc.Up() {
+					if ifc.Link == nil || ifc.Link.Name == ln || !ifc.Up() {
 						continue
 					}
 					fwd = append(fwd, ifc.Link.Name)
 				}
 			}
-			for _, ln := range fwd {
-				if !delivered[ln] {
-					delivered[ln] = true
-					changed = true
+			for _, next := range fwd {
+				if !delivered[next] {
+					delivered[next] = true
+					links = append(links, next)
 				}
 			}
 		}
 	}
 
 	var out []Violation
-	for _, ln := range scenario.LinkNames() {
+	for _, ln := range f.LinkOrder() {
 		switch {
 		case justified[ln] && !delivered[ln]:
 			out = append(out, Violation{Invariant: "black-hole", Detail: fmt.Sprintf("link %s demands (%s,%s) but the forwarding state never delivers it", ln, exp.Source, exp.Group)})
@@ -230,7 +247,7 @@ func NoZombies(f *scenario.Network, exp Expectation) []Violation {
 	// (S,G) entries must agree with the (static) routing domain: an entry
 	// whose recorded upstream is not the router's current RPF link is a
 	// relic of a dead incarnation or a forged message.
-	for _, rn := range scenario.RouterNames() {
+	for _, rn := range f.RouterOrder() {
 		r := f.Routers[rn]
 		for _, info := range r.PIM.Entries() {
 			want := rpfLinkOf(f, r, info.Source)
@@ -246,7 +263,7 @@ func NoZombies(f *scenario.Network, exp Expectation) []Violation {
 
 	// MLD listener state must match ground truth per link.
 	demand := linkDemand(f, exp)
-	for _, rn := range scenario.RouterNames() {
+	for _, rn := range f.RouterOrder() {
 		r := f.Routers[rn]
 		for _, ifc := range r.Node.Ifaces {
 			if ifc.Link == nil {
@@ -318,7 +335,7 @@ func NoZombies(f *scenario.Network, exp Expectation) []Violation {
 // retransmitted into acknowledgment) by now.
 func GraftsResolved(f *scenario.Network) []Violation {
 	var out []Violation
-	for _, rn := range scenario.RouterNames() {
+	for _, rn := range f.RouterOrder() {
 		r := f.Routers[rn]
 		for _, info := range r.PIM.Entries() {
 			if info.GraftPending {

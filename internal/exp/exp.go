@@ -334,7 +334,7 @@ func ForEach(ctx Context, n int, body func(opt scenario.Options, i int)) {
 			start = time.Now()
 		}
 		body(opt, i)
-		ctx.reportCell(i, 0, "", time.Since(start), scheds)
+		ctx.reportCell(i, 0, "", time.Since(start), scheds, nil)
 	})
 }
 

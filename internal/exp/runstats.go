@@ -22,6 +22,12 @@ type CellStats struct {
 	Label string
 	// Wall is the wall-clock time the cell's Run body took.
 	Wall time.Duration
+	// Vals holds the cell's measured columns as returned by the sweep
+	// body (nil for ForEach variants, which return nothing). Bodies may
+	// compute these from batch samples or from streaming accumulators
+	// (metrics.Welford / metrics.Reservoir) — by the time a cell reports,
+	// both have been reduced to one float per column.
+	Vals map[string]float64
 	// Sched aggregates the scheduler counters of every network the cell
 	// built: dispatch counts and virtual time summed/maxed across
 	// timelines, per-tag timing merged (only present when the base options
@@ -71,11 +77,11 @@ func (c Context) prepareCell(opt *scenario.Options, pt, rep int, scheds *[]*sim.
 
 // reportCell delivers one cell's stats to the Progress callback (no-op
 // when reporting is off). Calls are serialized across workers.
-func (c Context) reportCell(pt, rep int, label string, wall time.Duration, scheds []*sim.Scheduler) {
+func (c Context) reportCell(pt, rep int, label string, wall time.Duration, scheds []*sim.Scheduler, vals map[string]float64) {
 	if c.Progress == nil {
 		return
 	}
-	cs := CellStats{Point: pt, Replicate: rep, Label: label, Wall: wall}
+	cs := CellStats{Point: pt, Replicate: rep, Label: label, Wall: wall, Vals: vals}
 	for _, s := range scheds {
 		cs.Sched = mergeRunStats(cs.Sched, s.RunStats())
 	}

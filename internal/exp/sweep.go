@@ -89,7 +89,7 @@ func Sweep(ctx Context, spec SweepSpec) []PointStats {
 			start = time.Now()
 		}
 		vals, raw := spec.Run(opt, pt)
-		ctx.reportCell(pt, rep, spec.Points[pt], time.Since(start), scheds)
+		ctx.reportCell(pt, rep, spec.Points[pt], time.Since(start), scheds, vals)
 		cells[i] = cell{vals: vals, raw: raw}
 	})
 

@@ -66,7 +66,22 @@ func Classes() []Class {
 // counts as ClassTunnel, the innermost packet counts under its own class —
 // so "tunnel overhead" measures exactly the extra bytes tunneling costs.
 func Split(pkt *ipv6.Packet, wireLen int) map[Class]int {
+	var counts [numClasses]int
+	SplitInto(pkt, wireLen, &counts)
 	out := map[Class]int{}
+	for c, b := range counts {
+		if b != 0 {
+			out[Class(c)] = b
+		}
+	}
+	return out
+}
+
+// SplitInto is the allocation-free form of Split: it adds the frame's
+// per-class byte counts into counts. Per-frame taps on large generated
+// topologies (the Accountant watches every link) use it to keep the
+// accounting off the allocator.
+func SplitInto(pkt *ipv6.Packet, wireLen int, counts *[numClasses]int) {
 	// Fragments of tunnel packets cannot be walked into (only the first
 	// fragment holds the inner header, and never completely): the whole
 	// frame is attributed to tunnel overhead — in this system tunnel-MTU
@@ -75,15 +90,15 @@ func Split(pkt *ipv6.Packet, wireLen int) map[Class]int {
 	// outer destination.
 	if pkt.Fragment != nil {
 		if pkt.Proto == ipv6.ProtoIPv6 {
-			out[ClassTunnel] = wireLen
-			return out
+			counts[ClassTunnel] += wireLen
+			return
 		}
 		if pkt.Hdr.Dst.IsMulticast() {
-			out[ClassData] = wireLen
+			counts[ClassData] += wireLen
 		} else {
-			out[ClassUnicast] = wireLen
+			counts[ClassUnicast] += wireLen
 		}
-		return out
+		return
 	}
 	inner := pkt
 	overhead := 0
@@ -96,10 +111,9 @@ func Split(pkt *ipv6.Packet, wireLen int) map[Class]int {
 		inner = next
 	}
 	if overhead > 0 {
-		out[ClassTunnel] = overhead
+		counts[ClassTunnel] += overhead
 	}
-	out[classify(inner)] += wireLen - overhead
-	return out
+	counts[classify(inner)] += wireLen - overhead
 }
 
 func classify(pkt *ipv6.Packet) Class {
@@ -178,7 +192,12 @@ func (a *Accountant) Watch(l *netem.Link) {
 	a.counters[l] = c
 	a.order = append(a.order, l)
 	l.AddTap(func(ev netem.TxEvent) {
-		for class, bytes := range Split(ev.Pkt, len(ev.Frame)) {
+		var counts [numClasses]int
+		SplitInto(ev.Pkt, len(ev.Frame), &counts)
+		for class, bytes := range counts {
+			if bytes == 0 {
+				continue
+			}
 			c.Bytes[class] += uint64(bytes)
 			c.Frames[class]++
 		}

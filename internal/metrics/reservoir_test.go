@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReservoirExactWhileUnderCapacity(t *testing.T) {
+	r := NewReservoir(100, 1)
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		v := float64((i * 37) % 100)
+		r.Add(v)
+		h.Add(v)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 1} {
+		if got, want := r.Quantile(q), h.Quantile(q); got != want {
+			t.Errorf("q=%.2f: reservoir %v, exact %v", q, got, want)
+		}
+	}
+	if r.N() != 100 || r.Retained() != 100 {
+		t.Errorf("N=%d retained=%d", r.N(), r.Retained())
+	}
+}
+
+func TestReservoirDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []float64 {
+		r := NewReservoir(32, seed)
+		for i := 0; i < 10000; i++ {
+			r.Add(float64(i))
+		}
+		out := make([]float64, 0, 5)
+		for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			out = append(out, r.Quantile(q))
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds retained identical subsets (suspicious)")
+	}
+}
+
+func TestReservoirEstimatesQuantiles(t *testing.T) {
+	// Uniform [0,1) stream of 50k samples through a 512-slot reservoir:
+	// estimated quantiles must land near q.
+	r := NewReservoir(512, 3)
+	src := rand.New(rand.NewSource(99))
+	for i := 0; i < 50000; i++ {
+		r.Add(src.Float64())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if got := r.Quantile(q); math.Abs(got-q) > 0.08 {
+			t.Errorf("q=%.1f estimated as %.3f", q, got)
+		}
+	}
+	// Exact full-stream aggregates remain exact.
+	if r.Mean() < 0.45 || r.Mean() > 0.55 {
+		t.Errorf("mean %v", r.Mean())
+	}
+	if r.Min() < 0 || r.Max() >= 1 {
+		t.Errorf("min=%v max=%v", r.Min(), r.Max())
+	}
+	if r.Retained() != 512 || r.N() != 50000 {
+		t.Errorf("retained=%d n=%d", r.Retained(), r.N())
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	vals := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	var w Welford
+	for _, v := range vals {
+		w.Add(v)
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	var m2 float64
+	for _, v := range vals {
+		m2 += (v - mean) * (v - mean)
+	}
+	variance := m2 / float64(len(vals)-1)
+	if math.Abs(w.Mean()-mean) > 1e-12 {
+		t.Errorf("mean %v want %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-12 {
+		t.Errorf("variance %v want %v", w.Variance(), variance)
+	}
+	if w.Min() != 1 || w.Max() != 9 {
+		t.Errorf("min=%v max=%v", w.Min(), w.Max())
+	}
+}

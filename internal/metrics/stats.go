@@ -2,20 +2,27 @@ package metrics
 
 import "math"
 
-// Stats accumulates scalar samples with Welford's online algorithm and
-// reports replicate statistics: mean, sample standard deviation, and the
+// Welford accumulates scalar samples with Welford's online algorithm and
+// reports streaming statistics: mean, sample standard deviation, and the
 // 95% confidence-interval half-width of the mean (Student's t). The sweep
-// engine reduces replicate runs through it; unlike Histogram it keeps no
-// samples, so it is O(1) in memory and numerically stable for large
-// replicate counts.
-type Stats struct {
+// engine reduces replicate runs through it, and the scale experiments feed
+// it per-event samples (join delays across thousands of mobile nodes);
+// unlike Histogram it keeps no samples, so it is O(1) in memory and
+// numerically stable at any sample count. For order statistics over a
+// stream, pair it with a Reservoir.
+type Welford struct {
 	n        int
 	mean, m2 float64
 	min, max float64
 }
 
+// Stats is the original name of the Welford accumulator, kept as an alias
+// for the replicate-reduction call sites that predate the streaming
+// metrics layer.
+type Stats = Welford
+
 // Add accumulates one sample.
-func (s *Stats) Add(x float64) {
+func (s *Welford) Add(x float64) {
 	s.n++
 	if s.n == 1 {
 		s.min, s.max = x, x
@@ -33,7 +40,7 @@ func (s *Stats) Add(x float64) {
 }
 
 // Merge folds another accumulator into s (Chan et al. parallel update).
-func (s *Stats) Merge(o Stats) {
+func (s *Welford) Merge(o Stats) {
 	if o.n == 0 {
 		return
 	}
@@ -55,20 +62,20 @@ func (s *Stats) Merge(o Stats) {
 }
 
 // N returns the sample count.
-func (s *Stats) N() int { return s.n }
+func (s *Welford) N() int { return s.n }
 
 // Mean returns the arithmetic mean (0 when empty).
-func (s *Stats) Mean() float64 { return s.mean }
+func (s *Welford) Mean() float64 { return s.mean }
 
 // Min returns the smallest sample (0 when empty).
-func (s *Stats) Min() float64 { return s.min }
+func (s *Welford) Min() float64 { return s.min }
 
 // Max returns the largest sample (0 when empty).
-func (s *Stats) Max() float64 { return s.max }
+func (s *Welford) Max() float64 { return s.max }
 
 // Variance returns the sample (n−1) variance; 0 when fewer than two
 // samples exist.
-func (s *Stats) Variance() float64 {
+func (s *Welford) Variance() float64 {
 	if s.n < 2 {
 		return 0
 	}
@@ -76,12 +83,12 @@ func (s *Stats) Variance() float64 {
 }
 
 // Stddev returns the sample standard deviation.
-func (s *Stats) Stddev() float64 { return math.Sqrt(s.Variance()) }
+func (s *Welford) Stddev() float64 { return math.Sqrt(s.Variance()) }
 
 // CI95 returns the half-width of the 95% confidence interval of the mean.
 // With fewer than two samples the interval is undefined and reported as
 // 0-width.
-func (s *Stats) CI95() float64 {
+func (s *Welford) CI95() float64 {
 	if s.n < 2 {
 		return 0
 	}

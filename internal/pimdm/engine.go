@@ -239,6 +239,9 @@ type downstreamState struct {
 	assertTimer  *sim.Timer
 	lastAssertTx sim.Time
 	hasAssertTx  bool
+
+	lastPruneTx sim.Time // rate limiting for non-RPF p2p prunes we send
+	hasPruneTx  bool
 }
 
 // New creates the PIM-DM engine on node and registers it as the node's
@@ -465,8 +468,8 @@ func (e *Engine) addMember(group ipv6.Addr, ifc *netem.Interface) {
 		return // refcount bump only
 	}
 	// Membership appeared: revive matching (S,G) entries.
-	for key, ent := range e.entries {
-		if key.group != group {
+	for _, ent := range e.entriesSorted() {
+		if ent.key.group != group {
 			continue
 		}
 		if ifc != nil && ifc != ent.upstream {
@@ -494,8 +497,8 @@ func (e *Engine) removeMember(group ipv6.Addr, ifc *netem.Interface) {
 	if len(m) == 0 {
 		delete(e.localMembers, group)
 	}
-	for key, ent := range e.entries {
-		if key.group == group {
+	for _, ent := range e.entriesSorted() {
+		if ent.key.group == group {
 			ent.reconsiderUpstream()
 		}
 	}
@@ -590,6 +593,25 @@ func (e *Engine) deleteEntry(ent *sgEntry) {
 		e.Obs.State(e.Node.Name, ent.obsUpTrack(), "deleted", "")
 		e.Obs.Instant(e.Node.Name, ent.obsUpTrack(), "sg-deleted", "")
 	}
+}
+
+// entriesSorted returns the live (S,G) entries in (source, group) order.
+// Membership changes walk every entry and may transmit per entry (prunes,
+// grafts); walking the map directly would let Go's randomized iteration
+// order decide the transmission sequence and break trace determinism —
+// invisible with a single source, guaranteed to surface with several.
+func (e *Engine) entriesSorted() []*sgEntry {
+	out := make([]*sgEntry, 0, len(e.entries))
+	for _, ent := range e.entries {
+		out = append(out, ent)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].key.src != out[j].key.src {
+			return out[i].key.src.Less(out[j].key.src)
+		}
+		return out[i].key.group.Less(out[j].key.group)
+	})
+	return out
 }
 
 // EntryCount reports live (S,G) state — the storage load the paper
@@ -693,12 +715,18 @@ func (e *Engine) ForwardMulticast(rx netem.RxPacket) {
 	}
 
 	if rx.Iface != ent.upstream {
-		// RPF failure. If the packet showed up on an interface we forward
-		// this (S,G) onto, there are two forwarders on that LAN (or a
-		// stale-addressed mobile sender, paper §4.3.1): assert.
+		// RPF failure. On a point-to-point router link the peer is pushing
+		// traffic we will never accept from there: prune it directly
+		// (RFC 3973 §4.3.1). On a multi-access LAN the packet means two
+		// forwarders (or a stale-addressed mobile sender, paper §4.3.1):
+		// the Assert election resolves it instead.
 		e.Stats.RPFFailures++
-		if ds := ent.downstream[rx.Iface]; ds != nil && ent.shouldForward(rx.Iface, ds) {
-			ent.maybeSendAssert(rx.Iface)
+		if ds := ent.downstream[rx.Iface]; ds != nil {
+			if e.NeighborCount(rx.Iface) == 1 && len(rx.Iface.Link.Ifaces) == 2 {
+				ent.maybeSendNonRPFPrune(rx.Iface, ds)
+			} else if ent.shouldForward(rx.Iface, ds) {
+				ent.maybeSendAssert(rx.Iface)
+			}
 		}
 		return
 	}
@@ -769,6 +797,44 @@ func (ent *sgEntry) maybeSendPrune() {
 	ent.prunedUpstream = true
 	ent.hasPruneSent = true
 	ent.lastPruneSent = now
+}
+
+// maybeSendNonRPFPrune prunes an (S,G) off a point-to-point link whose
+// peer keeps forwarding onto our non-RPF side. Only called when the
+// interface has exactly one PIM neighbor and the link has exactly two
+// attachments, so the neighbor map holds a single address. Re-prunes are
+// rate limited like upstream re-prunes: cycles survive until the peer's
+// prune state expires, then one packet round-trips a fresh prune.
+func (ent *sgEntry) maybeSendNonRPFPrune(ifc *netem.Interface, ds *downstreamState) {
+	e := ent.e
+	var nbr ipv6.Addr
+	for a := range e.neighbors[ifc] {
+		nbr = a
+	}
+	now := e.Node.Sched().Now()
+	rateLimit := e.Config.PruneHoldtime / 3
+	if rateLimit < e.Config.PruneDelay {
+		rateLimit = e.Config.PruneDelay
+	}
+	if ds.hasPruneTx && now.Sub(ds.lastPruneTx) < rateLimit {
+		return
+	}
+	msg := &JoinPrune{
+		Kind:             TypeJoinPrune,
+		UpstreamNeighbor: nbr,
+		Holdtime:         e.Config.PruneHoldtime,
+		Groups: []JoinPruneGroup{{
+			Group:  ent.key.group,
+			Prunes: []ipv6.Addr{ent.key.src},
+		}},
+	}
+	e.sendPIM(ifc, ipv6.AllPIMRouters, msg)
+	e.Stats.PrunesSent++
+	if e.Obs != nil {
+		e.Obs.Instant(e.Node.Name, ent.obsDownTrack(ifc), "prune-sent", "non-rpf p2p")
+	}
+	ds.hasPruneTx = true
+	ds.lastPruneTx = now
 }
 
 func (ent *sgEntry) sendGraft() {

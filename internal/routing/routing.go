@@ -21,6 +21,7 @@ import (
 type Domain struct {
 	Net      *netem.Network
 	prefixes map[*netem.Link]ipv6.Addr // /64 prefix per link
+	byPrefix map[ipv6.Addr]*netem.Link // /64 prefix -> link (LinkFor fast path)
 	tables   map[*netem.Node]*RouterTable
 }
 
@@ -29,6 +30,7 @@ func NewDomain(net *netem.Network) *Domain {
 	return &Domain{
 		Net:      net,
 		prefixes: map[*netem.Link]ipv6.Addr{},
+		byPrefix: map[ipv6.Addr]*netem.Link{},
 		tables:   map[*netem.Node]*RouterTable{},
 	}
 }
@@ -36,7 +38,9 @@ func NewDomain(net *netem.Network) *Domain {
 // AssignPrefix gives link a /64 prefix. Unicast routing resolves
 // destinations by longest (here: only) prefix match against these.
 func (d *Domain) AssignPrefix(l *netem.Link, prefix ipv6.Addr) {
-	d.prefixes[l] = prefix.Prefix(64)
+	p := prefix.Prefix(64)
+	d.prefixes[l] = p
+	d.byPrefix[p] = l
 }
 
 // PrefixOf returns the /64 assigned to l.
@@ -45,14 +49,13 @@ func (d *Domain) PrefixOf(l *netem.Link) (ipv6.Addr, bool) {
 	return p, ok
 }
 
-// LinkFor returns the link whose prefix covers addr, or nil.
+// LinkFor returns the link whose prefix covers addr, or nil. This sits on
+// the unicast forwarding path (every NextHop resolves the destination's
+// link), so it is a single map probe on the /64 — a linear prefix scan
+// would make forwarding O(links) and dominate generated topologies with
+// hundreds of routers.
 func (d *Domain) LinkFor(addr ipv6.Addr) *netem.Link {
-	for l, p := range d.prefixes {
-		if addr.MatchesPrefix(p, 64) {
-			return l
-		}
-	}
-	return nil
+	return d.byPrefix[addr.Prefix(64)]
 }
 
 // Recompute rebuilds all router tables from the current topology and
@@ -72,6 +75,20 @@ func (d *Domain) Recompute() {
 
 // TableOf returns the computed table for a router.
 func (d *Domain) TableOf(n *netem.Node) *RouterTable { return d.tables[n] }
+
+// AttachHost installs the dynamic table for one (possibly mobile) host
+// node. Hosts are never transit, so adding one cannot change any router's
+// SPF result — builders attaching thousands of hosts use this instead of a
+// full Recompute, which is O(routers × topology) per call.
+func (d *Domain) AttachHost(n *netem.Node) {
+	if n.IsRouter {
+		d.Recompute()
+		return
+	}
+	if n.Routes == nil {
+		n.Routes = &HostTable{Domain: d, Node: n}
+	}
+}
 
 // entry is a router's next hop toward one link prefix.
 type entry struct {

@@ -15,7 +15,7 @@ import (
 	"mip6mcast/internal/pimdm"
 	"mip6mcast/internal/routing"
 	"mip6mcast/internal/sim"
-	"mip6mcast/internal/trace"
+	"mip6mcast/internal/topo"
 )
 
 // Group is the multicast group used throughout the experiments.
@@ -127,6 +127,9 @@ type Host struct {
 	MN    *mipv6.MobileNode
 	MLD   *mld.Host
 	IID   uint64
+	// HomeLink names the link the host homes on (where its home agent
+	// and home prefix live), regardless of current attachment.
+	HomeLink string
 
 	lastOuterHops int
 }
@@ -135,7 +138,8 @@ type Host struct {
 // delivering to this host (for path-stretch accounting).
 func (h *Host) OuterHops() int { return h.lastOuterHops }
 
-// Network is the assembled Figure 1 system.
+// Network is an assembled simulation system — the paper's Figure 1 or
+// any generated topo.Graph (see Build).
 type Network struct {
 	Opt     Options
 	Sched   *sim.Scheduler
@@ -145,24 +149,31 @@ type Network struct {
 	Routers map[string]*Router
 	Hosts   map[string]*Host
 	Acct    *metrics.Accountant
+	// Topo is the graph this network was built from.
+	Topo *topo.Graph
+
+	linkOrder   []string          // link names in construction order
+	routerOrder []string          // router names in construction order
+	haFor       map[string]string // link name -> home-agent router name
 
 	obs *obs.Recorder // set by AttachRecorder; nil when not observing
 }
 
-// figure1 wiring tables.
+// LinkOrder returns the link names in construction (graph) order. All
+// iteration that schedules events or emits trace records must use this
+// rather than ranging over the Links map.
+func (f *Network) LinkOrder() []string { return f.linkOrder }
+
+// RouterOrder returns the router names in construction (graph) order.
+func (f *Network) RouterOrder() []string { return f.routerOrder }
+
+// HomeAgentRouter names the router serving as home agent for a link
+// (empty if the link has none).
+func (f *Network) HomeAgentRouter(link string) string { return f.haFor[link] }
+
+// figure1 host placement per the paper: Sender S and Receiver 1 on
+// Link 1, Receiver 2 on Link 2, Receiver 3 on Link 4.
 var (
-	routerLinks = map[string][]string{
-		"A": {"L1", "L2"},
-		"B": {"L2", "L3"},
-		"C": {"L3"},
-		"D": {"L3", "L4", "L5"},
-		"E": {"L5", "L6"},
-	}
-	homeAgentFor = map[string]string{ // link -> router
-		"L1": "A", "L2": "B", "L3": "C", "L4": "D", "L5": "D", "L6": "E",
-	}
-	// The paper's hosts and their home links: Sender S and Receiver 1 on
-	// Link 1, Receiver 2 on Link 2, Receiver 3 on Link 4.
 	hostHomes = map[string]string{
 		"S": "L1", "R1": "L1", "R2": "L2", "R3": "L4",
 	}
@@ -187,56 +198,14 @@ func Prefix(link int) ipv6.Addr {
 
 // NewFigure1 builds the paper's network with the full protocol stack. All
 // hosts start on their home links; no multicast membership or workload is
-// attached yet.
+// attached yet. It is exactly Build(topo.Figure1(), opt) plus the paper's
+// four hosts.
 func NewFigure1(opt Options) *Network {
-	f := &Network{
-		Opt:     opt,
-		Sched:   sim.NewScheduler(opt.Seed),
-		Links:   map[string]*netem.Link{},
-		Routers: map[string]*Router{},
-		Hosts:   map[string]*Host{},
-	}
-	f.Net = netem.New(f.Sched)
-	f.Dom = routing.NewDomain(f.Net)
-	for i, name := range LinkNames() {
-		l := f.Net.NewLink(name, opt.LinkBandwidth, opt.LinkDelay)
-		l.MTU = opt.LinkMTU
-		f.Links[name] = l
-		f.Dom.AssignPrefix(l, Prefix(i+1))
-	}
-
-	for _, name := range RouterNames() {
-		node := f.Net.NewNode(name, true)
-		r := &Router{Node: node, HAs: map[string]*mipv6.HomeAgent{}}
-		f.Routers[name] = r
-		for _, ln := range routerLinks[name] {
-			ifc := node.AddInterface(f.Links[ln])
-			p, _ := f.Dom.PrefixOf(f.Links[ln])
-			// Router addresses: <prefix>::aX where X encodes the router.
-			ifc.AddAddr(p.WithInterfaceID(0xa0 + uint64(name[0]-'A'+1)))
+	return Build(topo.Figure1(), opt, func(f *Network) {
+		for _, name := range HostNames() {
+			f.AddHost(name, hostHomes[name], hostIIDs[name])
 		}
-	}
-	f.Dom.Recompute()
-
-	for _, name := range RouterNames() {
-		f.startRouterProtocols(name)
-	}
-
-	for _, name := range HostNames() {
-		f.AddHost(name, hostHomes[name], hostIIDs[name])
-	}
-	f.Acct = metrics.NewAccountant(f.Net)
-	if opt.Instrument {
-		f.Sched.Instrument()
-	}
-	if opt.Obs != nil {
-		f.AttachRecorder(opt.Obs)
-		trace.RecordLinks(opt.Obs, f.Net, nil)
-	}
-	if opt.OnNetwork != nil {
-		opt.OnNetwork(f)
-	}
-	return f
+	})
 }
 
 // startRouterProtocols builds the router's full protocol stack (PIM-DM,
@@ -256,7 +225,7 @@ func (f *Network) startRouterProtocols(name string) {
 	})
 	// Home agent role on designated links.
 	for _, ifc := range r.Node.Ifaces {
-		if homeAgentFor[ifc.Link.Name] != name {
+		if f.haFor[ifc.Link.Name] != name {
 			continue
 		}
 		r.HAs[ifc.Link.Name] = mipv6.NewHomeAgent(r.Node, ifc, ifc.GlobalAddr(), opt.HA)
@@ -326,7 +295,7 @@ func (f *Network) AttachRecorder(rec *obs.Recorder) {
 	}
 	rec.Bind(f.Sched)
 	f.obs = rec
-	for _, name := range RouterNames() {
+	for _, name := range f.routerOrder {
 		r, ok := f.Routers[name]
 		if !ok {
 			continue
@@ -357,7 +326,7 @@ func (f *Network) attachHostRecorder(h *Host) {
 func (f *Network) AddHost(name, homeLink string, iid uint64) *Host {
 	node := f.Net.NewNode(name, false)
 	ifc := node.AddInterface(f.Links[homeLink])
-	haRouter := f.Routers[homeAgentFor[homeLink]]
+	haRouter := f.Routers[f.haFor[homeLink]]
 	var haAddr ipv6.Addr
 	for _, rifc := range haRouter.Node.Ifaces {
 		if rifc.Link == f.Links[homeLink] {
@@ -367,7 +336,7 @@ func (f *Network) AddHost(name, homeLink string, iid uint64) *Host {
 	p, _ := f.Dom.PrefixOf(f.Links[homeLink])
 	cfg := mipv6.DefaultMNConfig(p, haAddr)
 	cfg.BindingLifetime = f.Opt.BindingLifetime
-	h := &Host{Name: name, Node: node, Iface: ifc, IID: iid}
+	h := &Host{Name: name, Node: node, Iface: ifc, IID: iid, HomeLink: homeLink}
 	h.MN = mipv6.NewMobileNode(node, iid, cfg)
 	h.MN.OnDecap = func(outer, inner *ipv6.Packet) {
 		h.lastOuterHops = int(ipv6.DefaultHopLimit - outer.Hdr.HopLimit)
@@ -377,27 +346,17 @@ func (f *Network) AddHost(name, homeLink string, iid uint64) *Host {
 	if f.obs != nil {
 		f.attachHostRecorder(h)
 	}
-	f.Dom.Recompute() // install the host's dynamic route table
+	f.Dom.AttachHost(node) // install the host's dynamic route table
 	return h
 }
 
 // HomeAgentOf returns the home agent serving the host's home link.
 func (f *Network) HomeAgentOf(host string) *mipv6.HomeAgent {
-	h := f.Hosts[host]
-	link := hostHomes[host]
-	if link == "" {
-		// Hosts added via AddHost: find by HA address.
-		for _, r := range f.Routers {
-			for ln, ha := range r.HAs {
-				if ha.Address == h.MN.Config.HomeAgent {
-					_ = ln
-					return ha
-				}
-			}
-		}
+	h, ok := f.Hosts[host]
+	if !ok {
 		return nil
 	}
-	return f.Routers[homeAgentFor[link]].HAs[link]
+	return f.Routers[f.haFor[h.HomeLink]].HAs[h.HomeLink]
 }
 
 // Move reattaches a host to another link (triggering NDP movement
@@ -448,7 +407,7 @@ func (f *Network) TotalSGEntries() int {
 // PIMStats aggregates the control-message counters of all routers.
 func (f *Network) PIMStats() pimdm.Stats {
 	var t pimdm.Stats
-	for _, name := range RouterNames() {
+	for _, name := range f.routerOrder {
 		s := f.Routers[name].PIM.Stats
 		t.HellosSent += s.HellosSent
 		t.PrunesSent += s.PrunesSent

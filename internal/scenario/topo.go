@@ -153,7 +153,7 @@ func (t *Topo) AddHost(name string, homeIdx int) *Host {
 		h.lastOuterHops = int(ipv6.DefaultHopLimit - outer.Hdr.HopLimit)
 	}
 	h.MLD = mld.NewHost(node, t.Opt.HostMLD)
-	t.Dom.Recompute()
+	t.Dom.AttachHost(node)
 	return h
 }
 

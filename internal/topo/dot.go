@@ -1,0 +1,45 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax: routers as circles,
+// LANs as boxes annotated with their home agent, point-to-point core
+// links as plain edges, and any multi-access core link as a small
+// junction node. Pipe through `dot -Tsvg` to eyeball a generated
+// topology before burning CPU on it.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", g.Name)
+	b.WriteString("  layout=neato;\n  overlap=false;\n  node [shape=circle fontsize=10];\n")
+	for _, r := range g.Routers {
+		fmt.Fprintf(&b, "  %q;\n", r.Name)
+	}
+	for li, l := range g.Links {
+		on := g.RoutersOn(li)
+		switch {
+		case l.LAN:
+			label := l.Name
+			if ha := g.HomeAgent[li]; ha >= 0 {
+				label += "\\nHA=" + g.Routers[ha].Name
+			}
+			fmt.Fprintf(&b, "  %q [shape=box style=filled fillcolor=lightgrey label=%q];\n",
+				l.Name, label)
+			for _, ri := range on {
+				fmt.Fprintf(&b, "  %q -- %q;\n", g.Routers[ri].Name, l.Name)
+			}
+		case len(on) == 2:
+			fmt.Fprintf(&b, "  %q -- %q [label=%q fontsize=8];\n",
+				g.Routers[on[0]].Name, g.Routers[on[1]].Name, l.Name)
+		default:
+			fmt.Fprintf(&b, "  %q [shape=point];\n", l.Name)
+			for _, ri := range on {
+				fmt.Fprintf(&b, "  %q -- %q;\n", g.Routers[ri].Name, l.Name)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package topo
+
+// Figure1 returns the paper's fixed evaluation network as a Graph: six
+// multi-access links L1–L6, five routers A–E, with home-agent duty
+// assigned per the paper (A serves L1, B L2, C L3, D L4 and L5, E L6).
+// Link and per-router interface order match the hand-wired
+// scenario.NewFigure1 exactly — the scenario build of this graph must
+// reproduce its event timeline byte for byte.
+func Figure1() *Graph {
+	const (
+		l1 = iota
+		l2
+		l3
+		l4
+		l5
+		l6
+	)
+	return &Graph{
+		Name: "fig1",
+		Links: []Link{
+			{Name: "L1", LAN: true},
+			{Name: "L2", LAN: true},
+			{Name: "L3", LAN: true},
+			{Name: "L4", LAN: true},
+			{Name: "L5", LAN: true},
+			{Name: "L6", LAN: true},
+		},
+		Routers: []Router{
+			{Name: "A", Links: []int{l1, l2}},
+			{Name: "B", Links: []int{l2, l3}},
+			{Name: "C", Links: []int{l3}},
+			{Name: "D", Links: []int{l3, l4, l5}},
+			{Name: "E", Links: []int{l5, l6}},
+		},
+		HomeAgent: []int{0, 1, 2, 3, 3, 4}, // L1→A L2→B L3→C L4→D L5→D L6→E
+	}
+}

@@ -1,0 +1,240 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// builder accumulates a generated graph. All generators share its
+// construction discipline: core links first (in a family-specific but
+// deterministic order), then one LAN per router, so link index order —
+// and therefore prefix assignment and interface creation order in the
+// scenario build — is a pure function of the generator arguments.
+type builder struct {
+	g     *Graph
+	edges map[[2]int]bool // core-edge dedup, key sorted (lo, hi)
+}
+
+func newBuilder(name string, routers int) *builder {
+	b := &builder{
+		g:     &Graph{Name: name},
+		edges: map[[2]int]bool{},
+	}
+	for i := 0; i < routers; i++ {
+		b.g.Routers = append(b.g.Routers, Router{Name: fmt.Sprintf("R%d", i)})
+	}
+	return b
+}
+
+// core adds a point-to-point backbone link between routers i and j
+// (idempotent per pair). Reports whether a new link was created.
+func (b *builder) core(i, j int) bool {
+	if i > j {
+		i, j = j, i
+	}
+	if i == j || b.edges[[2]int{i, j}] {
+		return false
+	}
+	b.edges[[2]int{i, j}] = true
+	li := len(b.g.Links)
+	b.g.Links = append(b.g.Links, Link{Name: fmt.Sprintf("c%d-%d", i, j)})
+	b.g.HomeAgent = append(b.g.HomeAgent, -1)
+	b.g.Routers[i].Links = append(b.g.Routers[i].Links, li)
+	b.g.Routers[j].Links = append(b.g.Routers[j].Links, li)
+	return true
+}
+
+// finish appends one LAN per router (the router is its home agent) and
+// returns the graph. Every generated router therefore fronts exactly one
+// host-attachment link — the "home/foreign link" the paper's mobility
+// model moves hosts between.
+func (b *builder) finish() *Graph {
+	for i := range b.g.Routers {
+		li := len(b.g.Links)
+		b.g.Links = append(b.g.Links, Link{Name: fmt.Sprintf("lan%d", i), LAN: true})
+		b.g.HomeAgent = append(b.g.HomeAgent, i)
+		b.g.Routers[i].Links = append(b.g.Routers[i].Links, li)
+	}
+	return b.g
+}
+
+// Tree builds a k-ary tree of n routers: router i's parent is
+// (i-1)/arity. Trees are the best case for flood-and-prune (no redundant
+// paths, no asserts) and make depth scaling explicit.
+func Tree(n, arity int) *Graph {
+	if n < 1 {
+		panic("topo: Tree needs at least one router")
+	}
+	if arity < 1 {
+		panic("topo: Tree arity must be >= 1")
+	}
+	b := newBuilder(fmt.Sprintf("tree%d-k%d", n, arity), n)
+	for c := 1; c < n; c++ {
+		b.core((c-1)/arity, c)
+	}
+	return b.finish()
+}
+
+// Grid builds a rows×cols mesh: router (r,c) has index r*cols+c and
+// links to its right and down neighbors. Meshes exercise PIM-DM asserts
+// and redundant-path pruning, the paper's bandwidth-waste worst case.
+func Grid(rows, cols int) *Graph {
+	return grid(rows, cols, rows*cols)
+}
+
+// grid builds a row-major mesh truncated to n routers (indices >= n and
+// their edges are skipped). Truncating row-major keeps connectivity:
+// every router in a partial last row still links upward.
+func grid(rows, cols, n int) *Graph {
+	if rows < 1 || cols < 1 || n < 1 || n > rows*cols {
+		panic("topo: bad grid shape")
+	}
+	b := newBuilder(fmt.Sprintf("grid%dx%d-%d", rows, cols, n), n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			if i >= n {
+				continue
+			}
+			if c+1 < cols && i+1 < n {
+				b.core(i, i+1)
+			}
+			if r+1 < rows && i+cols < n {
+				b.core(i, i+cols)
+			}
+		}
+	}
+	return b.finish()
+}
+
+// Waxman builds an ISP-like random graph: routers get seeded positions
+// in the unit square, a random spanning tree guarantees connectivity,
+// then each remaining pair (i,j) gains an edge with probability
+// alpha·exp(−d(i,j)/(beta·L)) where L is the square's diagonal — the
+// classic Waxman model's distance-decaying edge density.
+func Waxman(n int, alpha, beta float64, seed int64) *Graph {
+	if n < 1 {
+		panic("topo: Waxman needs at least one router")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(fmt.Sprintf("waxman%d-s%d", n, seed), n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	// Random spanning tree: each router joins an already-placed one.
+	for i := 1; i < n; i++ {
+		b.core(rng.Intn(i), i)
+	}
+	scale := beta * math.Sqrt2
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if b.edges[[2]int{i, j}] {
+				continue
+			}
+			d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+			if rng.Float64() < alpha*math.Exp(-d/scale) {
+				b.core(i, j)
+			}
+		}
+	}
+	return b.finish()
+}
+
+// Barabasi builds a preferential-attachment graph: after an initial
+// chain of m+1 routers, each new router links to m distinct existing
+// routers chosen proportionally to their degree — yielding the hub-heavy
+// degree distribution of real inter-domain topologies.
+func Barabasi(n, m int, seed int64) *Graph {
+	if n < 1 {
+		panic("topo: Barabasi needs at least one router")
+	}
+	if m < 1 {
+		panic("topo: Barabasi m must be >= 1")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := newBuilder(fmt.Sprintf("ba%d-m%d-s%d", n, m, seed), n)
+	// endpoints lists each edge's endpoints twice over; sampling it
+	// uniformly is degree-proportional sampling.
+	var endpoints []int
+	addEdge := func(i, j int) {
+		if b.core(i, j) {
+			endpoints = append(endpoints, i, j)
+		}
+	}
+	seedLen := m + 1
+	if seedLen > n {
+		seedLen = n
+	}
+	for i := 1; i < seedLen; i++ {
+		addEdge(i-1, i)
+	}
+	for i := seedLen; i < n; i++ {
+		picked := map[int]bool{}
+		for len(picked) < m {
+			picked[endpoints[rng.Intn(len(endpoints))]] = true
+		}
+		targets := make([]int, 0, m)
+		for t := range picked {
+			targets = append(targets, t)
+		}
+		// Map iteration order is random; sort so edge creation order —
+		// and with it link indices — depends only on the seed.
+		sortInts(targets)
+		for _, t := range targets {
+			addEdge(t, i)
+		}
+	}
+	return b.finish()
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// FromSpec builds a named topology family at a given router count with
+// this package's default shape parameters: tree → 4-ary, grid → nearest
+// square (truncated row-major), waxman → β=0.35 with α=min(0.6, 12/n) so
+// the expected extra-edge degree stays bounded as n grows (fixed α would
+// densify quadratically, blowing past realistic ISP meshes and the
+// builder's link budget at hundreds of routers), ba → m=2, fig1 → the
+// paper's fixed Figure 1 network (router count ignored).
+func FromSpec(family string, routers int, seed int64) (*Graph, error) {
+	if routers < 1 {
+		return nil, fmt.Errorf("topo: router count %d out of range", routers)
+	}
+	switch family {
+	case "tree":
+		return Tree(routers, 4), nil
+	case "grid":
+		rows := int(math.Sqrt(float64(routers)))
+		if rows < 1 {
+			rows = 1
+		}
+		cols := (routers + rows - 1) / rows
+		return grid(rows, cols, routers), nil
+	case "waxman":
+		alpha := 12.0 / float64(routers)
+		if alpha > 0.6 {
+			alpha = 0.6
+		}
+		return Waxman(routers, alpha, 0.35, seed), nil
+	case "ba":
+		return Barabasi(routers, 2, seed), nil
+	case "fig1":
+		return Figure1(), nil
+	default:
+		return nil, fmt.Errorf("topo: unknown family %q (want tree, grid, waxman, ba or fig1)", family)
+	}
+}
+
+// Families lists the generator families FromSpec accepts, in
+// documentation order.
+func Families() []string { return []string{"tree", "grid", "waxman", "ba", "fig1"} }

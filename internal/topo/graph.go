@@ -1,0 +1,196 @@
+// Package topo describes simulation topologies as pure data: routers,
+// links, and home-agent designations, plus seeded procedural generators
+// (k-ary tree, grid, Waxman, Barabási–Albert) and a workload generator
+// that places mobile nodes and drives seeded handover churn.
+//
+// The package is deliberately free of simulator types — a Graph is just
+// indices and names — so generators stay testable in isolation and the
+// scenario package owns the one mapping from Graph to wired netem
+// networks. Everything here is deterministic: the same constructor
+// arguments (including seeds) always produce byte-identical structures,
+// which is what lets sweep replicates reproduce traces independent of
+// worker count.
+package topo
+
+import "fmt"
+
+// Link is one shared medium. LAN marks a host-attachment link (a home or
+// foreign link in Mobile IPv6 terms): workload generation places mobile
+// nodes, sources and movement targets only on LANs, and builders
+// designate a home agent for each. Non-LAN links are router-to-router
+// core links.
+type Link struct {
+	Name string
+	LAN  bool
+}
+
+// Router is one multicast router and the links it attaches to, in
+// interface-creation order. Order matters: builders create interfaces in
+// this order, and interface creation order feeds the deterministic event
+// timeline.
+type Router struct {
+	Name  string
+	Links []int // indices into Graph.Links
+}
+
+// Graph is a complete topology description.
+type Graph struct {
+	Name    string
+	Links   []Link
+	Routers []Router
+	// HomeAgent[i] is the index of the router designated home agent for
+	// Links[i], or -1 for links without one (core links). A LAN must
+	// have a designated home agent attached to it.
+	HomeAgent []int
+}
+
+// LANs returns the indices of all LAN links, in link order.
+func (g *Graph) LANs() []int {
+	var out []int
+	for i, l := range g.Links {
+		if l.LAN {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RoutersOn returns the indices of routers attached to link li, in
+// router order.
+func (g *Graph) RoutersOn(li int) []int {
+	var out []int
+	for ri, r := range g.Routers {
+		for _, l := range r.Links {
+			if l == li {
+				out = append(out, ri)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: names unique and non-empty,
+// link references in range and duplicate-free, every link attached to at
+// least one router, every LAN's home agent designated and attached, and
+// the router graph connected. Generators are expected to always produce
+// valid graphs; Validate is the property the tests pin.
+func (g *Graph) Validate() error {
+	if len(g.Routers) == 0 {
+		return fmt.Errorf("topo %q: no routers", g.Name)
+	}
+	if len(g.HomeAgent) != len(g.Links) {
+		return fmt.Errorf("topo %q: HomeAgent has %d entries for %d links",
+			g.Name, len(g.HomeAgent), len(g.Links))
+	}
+	names := map[string]bool{}
+	for i, l := range g.Links {
+		if l.Name == "" {
+			return fmt.Errorf("topo %q: link %d unnamed", g.Name, i)
+		}
+		if names[l.Name] {
+			return fmt.Errorf("topo %q: duplicate link name %q", g.Name, l.Name)
+		}
+		names[l.Name] = true
+	}
+	attached := make([]bool, len(g.Links))
+	for ri, r := range g.Routers {
+		if r.Name == "" {
+			return fmt.Errorf("topo %q: router %d unnamed", g.Name, ri)
+		}
+		if names[r.Name] {
+			return fmt.Errorf("topo %q: duplicate name %q", g.Name, r.Name)
+		}
+		names[r.Name] = true
+		seen := map[int]bool{}
+		for _, li := range r.Links {
+			if li < 0 || li >= len(g.Links) {
+				return fmt.Errorf("topo %q: router %q references link %d of %d",
+					g.Name, r.Name, li, len(g.Links))
+			}
+			if seen[li] {
+				return fmt.Errorf("topo %q: router %q attaches link %q twice",
+					g.Name, r.Name, g.Links[li].Name)
+			}
+			seen[li] = true
+			attached[li] = true
+		}
+	}
+	for li, ok := range attached {
+		if !ok {
+			return fmt.Errorf("topo %q: link %q has no attached router", g.Name, g.Links[li].Name)
+		}
+	}
+	for li, ha := range g.HomeAgent {
+		if ha == -1 {
+			if g.Links[li].LAN {
+				return fmt.Errorf("topo %q: LAN %q has no home agent", g.Name, g.Links[li].Name)
+			}
+			continue
+		}
+		if ha < 0 || ha >= len(g.Routers) {
+			return fmt.Errorf("topo %q: link %q home agent index %d out of range",
+				g.Name, g.Links[li].Name, ha)
+		}
+		found := false
+		for _, l := range g.Routers[ha].Links {
+			if l == li {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("topo %q: home agent %q not attached to link %q",
+				g.Name, g.Routers[ha].Name, g.Links[li].Name)
+		}
+	}
+	if !g.Connected() {
+		return fmt.Errorf("topo %q: router graph not connected", g.Name)
+	}
+	return nil
+}
+
+// Connected reports whether every router is reachable from router 0 via
+// shared links (breadth-first over the router/link bipartite graph).
+func (g *Graph) Connected() bool {
+	if len(g.Routers) == 0 {
+		return false
+	}
+	onLink := make([][]int, len(g.Links))
+	for ri, r := range g.Routers {
+		for _, li := range r.Links {
+			if li >= 0 && li < len(g.Links) {
+				onLink[li] = append(onLink[li], ri)
+			}
+		}
+	}
+	visited := make([]bool, len(g.Routers))
+	visited[0] = true
+	queue := []int{0}
+	n := 1
+	for len(queue) > 0 {
+		ri := queue[0]
+		queue = queue[1:]
+		for _, li := range g.Routers[ri].Links {
+			for _, nb := range onLink[li] {
+				if !visited[nb] {
+					visited[nb] = true
+					n++
+					queue = append(queue, nb)
+				}
+			}
+		}
+	}
+	return n == len(g.Routers)
+}
+
+// CoreEdges counts non-LAN links (the backbone size).
+func (g *Graph) CoreEdges() int {
+	n := 0
+	for _, l := range g.Links {
+		if !l.LAN {
+			n++
+		}
+	}
+	return n
+}

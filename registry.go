@@ -117,6 +117,31 @@ func init() {
 		},
 		Run: runExpChaos,
 	})
+	exp.Register(&exp.Experiment{
+		Name:  "scale",
+		Desc:  "scale: procedural topologies (internal/topo) under handover churn",
+		Sweep: true,
+		Params: []exp.Param{
+			{Name: "families", Desc: "'+'-separated topology families (tree, grid, waxman, ba, fig1)",
+				Kind: exp.String, Default: "tree+grid+waxman"},
+			{Name: "routers", Desc: "router counts to sweep per family", Kind: exp.IntList,
+				Default: []int{4, 16}},
+			{Name: "mnfrac", Desc: "mobile nodes per router (when mns is 0)", Kind: exp.Float,
+				Default: 2.0},
+			{Name: "mns", Desc: "explicit mobile-node count; 0 derives from mnfrac", Kind: exp.Int,
+				Default: 0},
+			{Name: "sources", Desc: "multicast source count", Kind: exp.Int, Default: 2},
+			{Name: "members", Desc: "fraction of mobile nodes subscribed to the group", Kind: exp.Float,
+				Default: 0.5},
+			{Name: "dwell", Desc: "mean dwell time between handovers (s)", Kind: exp.Int, Default: 20},
+			{Name: "horizon", Desc: "churn window length (s)", Kind: exp.Int, Default: 60},
+			{Name: "approach", Desc: "receive approach: local or tunnel", Kind: exp.String,
+				Default: "local"},
+			{Name: "tracedir", Desc: "write each timeline's JSONL trace under this directory for seed replay; empty disables",
+				Kind: exp.String, Default: ""},
+		},
+		Run: runExpScale,
+	})
 }
 
 // paramTQuery is the shared MLD-tuning knob of the extension studies,

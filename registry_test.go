@@ -9,7 +9,7 @@ import (
 
 // Every paper artifact must be registered, in the canonical order.
 func TestRegistryCoversAllExperiments(t *testing.T) {
-	want := []string{"f1", "f2", "f3", "f4", "t1", "s44", "s431", "s432", "smg", "sld", "smtu", "chaos"}
+	want := []string{"f1", "f2", "f3", "f4", "t1", "s44", "s431", "s432", "smg", "sld", "smtu", "chaos", "scale"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registered %v, want %v", got, want)
@@ -37,7 +37,8 @@ var detParams = map[string]exp.Params{
 	"s432": {"n": []int{2}},
 	"smg":  {"groups": []int{4}},
 	"sld":  {"depths": []int{2}},
-	"smtu": {"payloads": []int{1413}, "losses": []float64{0.05}},
+	"smtu":  {"payloads": []int{1413}, "losses": []float64{0.05}},
+	"scale": {"families": "tree+grid", "routers": []int{4}},
 }
 
 // Identical seeds must yield byte-identical tables regardless of worker

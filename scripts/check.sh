@@ -37,3 +37,21 @@ else
     cat "$tmp/w1.out" >&2
     exit 1
 fi
+
+# Scale determinism smoke: the smallest tree and grid cells of the
+# procedural-topology sweep, same contract as the chaos smoke — fixed seed,
+# byte-identical per-timeline JSONL traces at workers 1 vs 8 under the race
+# detector, and a zero violations column (field 2 of each table row).
+go run -race ./cmd/mip6sim -experiment scale -topo family=tree+grid,routers=4,mns=8 \
+    -replicates 1 -seed 7 -workers 1 -trace-out "$tmp/s1" > "$tmp/s1.out"
+go run -race ./cmd/mip6sim -experiment scale -topo family=tree+grid,routers=4,mns=8 \
+    -replicates 1 -seed 7 -workers 8 -trace-out "$tmp/s8" > "$tmp/s8.out"
+diff -r "$tmp/s1" "$tmp/s8"
+diff "$tmp/s1.out" "$tmp/s8.out"
+if awk 'NR > 2 && NF > 1 && $2 != "0" { bad = 1 } END { exit bad }' "$tmp/s1.out"; then
+    echo "scale smoke: workers=1 and workers=8 traces byte-identical, 0 violations"
+else
+    echo "scale smoke: invariant violations reported:" >&2
+    cat "$tmp/s1.out" >&2
+    exit 1
+fi

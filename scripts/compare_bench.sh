@@ -1,0 +1,85 @@
+#!/bin/sh
+# Macro-benchmark regression gate: compare the two most recent
+# BENCH_PR<n>.json files (the `go test -json` streams `make bench` emits)
+# and fail when a macro benchmark — the end-to-end cells in ./bench —
+# regressed by more than 20% in ns/op or allocs/op. Micro-benchmarks are
+# reported for context but never gate: they are too machine-sensitive at
+# this granularity, while the macro cells amortize enough work per op to
+# make a 20% swing a real finding. Benchmarks without a counterpart in the
+# older file (newly added cells) are skipped.
+#
+# Usage: scripts/compare_bench.sh [old.json new.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+MACRO='^(BenchmarkFigure1Macro|BenchmarkScaleTopology)'
+THRESHOLD=20 # percent
+
+if [ $# -eq 2 ]; then
+    old="$1"
+    new="$2"
+else
+    # PR-number order, not mtime: checkouts do not preserve timestamps.
+    set -- $(ls BENCH_PR*.json 2>/dev/null | sort -t R -k 2 -n)
+    if [ $# -lt 2 ]; then
+        echo "compare_bench: need two BENCH_PR*.json files, found $#; nothing to compare"
+        exit 0
+    fi
+    while [ $# -gt 2 ]; do shift; done
+    old="$1"
+    new="$2"
+fi
+echo "compare_bench: $old -> $new (macro threshold ${THRESHOLD}%)"
+
+# Flatten one result stream to "name ns_op allocs_op" per benchmark. The
+# test2json stream splits one benchmark result line across several Output
+# events (name fragment, then counts), so reassemble the output text into
+# whole lines before parsing. The -<procs> suffix is stripped so runs from
+# machines with different core counts still pair up.
+extract() {
+    grep -o '"Output":"[^"]*' "$1" |
+        sed 's/^"Output":"//' |
+        awk '{
+            gsub(/\\t/, " ")
+            if (sub(/\\n$/, "")) { print line $0; line = "" } else { line = line $0 }
+        }' |
+        awk '/^Benchmark/ && / ns\/op/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            ns = ""; allocs = ""
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op") ns = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            if (ns != "") print name, ns, (allocs == "" ? "-" : allocs)
+        }'
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+extract "$old" > "$tmp/old"
+extract "$new" > "$tmp/new"
+
+awk -v macro="$MACRO" -v thr="$THRESHOLD" '
+    NR == FNR { ns[$1] = $2; allocs[$1] = $3; next }
+    {
+        if (!($1 in ns)) { printf "  new       %-60s (no baseline)\n", $1; next }
+        worst = 0
+        nsdelta = (ns[$1] > 0) ? ($2 - ns[$1]) * 100 / ns[$1] : 0
+        if (nsdelta > worst) worst = nsdelta
+        adelta = 0
+        if (allocs[$1] != "-" && $3 != "-" && allocs[$1] > 0)
+            adelta = ($3 - allocs[$1]) * 100 / allocs[$1]
+        if (adelta > worst) worst = adelta
+        gate = ($1 ~ macro)
+        status = "  ok      "
+        if (worst > thr) status = gate ? "  REGRESSED" : "  slower   "
+        printf "%s %-60s ns/op %+7.1f%%  allocs/op %+7.1f%%\n", status, $1, nsdelta, adelta
+        if (gate && worst > thr) bad = 1
+    }
+    END { exit bad }
+' "$tmp/old" "$tmp/new" || {
+    echo "compare_bench: macro benchmark regressed more than ${THRESHOLD}% — see REGRESSED rows above" >&2
+    exit 1
+}
+echo "compare_bench: no macro regressions"
