@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	mip6mcast "mip6mcast"
+	"mip6mcast/internal/exp"
+	"mip6mcast/internal/scenario"
+)
+
+// BenchmarkEngineComparison runs the same scale-experiment cell (a 16-router
+// grid with 32 mobile nodes under handover churn) once per registered
+// multicast engine. Beyond the usual time/allocs trajectory, each sub-bench
+// reports the cell's PIM control traffic and convergence time, so
+// `make bench` captures the soft-state vs hard-state head-to-head next to
+// the perf numbers.
+func BenchmarkEngineComparison(b *testing.B) {
+	for _, eng := range scenario.EngineNames() {
+		eng := eng
+		b.Run(eng, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			var pimKB, convS float64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				opt := mip6mcast.DefaultOptions()
+				opt.Seed = int64(i + 1)
+				ctx := mip6mcast.ExpContext{
+					Opt: opt, Replicates: 1, Workers: 1,
+					Progress: func(cs exp.CellStats) { events += cs.Sched.Dispatched },
+				}
+				res, err := mip6mcast.RunExperiment("scale", ctx, mip6mcast.ExpParams{
+					"families": "grid",
+					"routers":  []int{16},
+					"mns":      32,
+					"horizon":  30,
+					"engine":   eng,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v := res.Stats[0].Mean("violations"); v != 0 {
+					b.Fatalf("cell reported %v invariant violations", v)
+				}
+				pimKB += res.Stats[0].Mean("pim(KB)")
+				convS += res.Stats[0].Mean("conv(s)")
+			}
+			wall := time.Since(start).Seconds()
+			if wall > 0 {
+				b.ReportMetric(float64(events)/wall, "events/sec")
+			}
+			b.ReportMetric(pimKB/float64(b.N), "pimKB/run")
+			b.ReportMetric(convS/float64(b.N), "conv-s/run")
+		})
+	}
+}

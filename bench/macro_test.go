@@ -24,7 +24,7 @@ func buildFigure1(opt scenario.Options, moveAt time.Duration) *scenario.Network 
 	for _, name := range scenario.RouterNames() {
 		r := f.Routers[name]
 		for _, ha := range r.HomeAgents() {
-			core.NewHAService(ha, r.PIM, nil, opt.MLD)
+			core.NewHAService(ha, r.Engine, nil, opt.MLD)
 		}
 	}
 	svcs := map[string]*core.Service{}

@@ -25,6 +25,7 @@ import (
 	"mip6mcast/internal/exp"
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/obs"
+	"mip6mcast/internal/scenario"
 	"mip6mcast/internal/topo"
 )
 
@@ -270,8 +271,21 @@ func parseTopoSpec(spec string) (exp.Params, error) {
 				return nil, fmt.Errorf("-topo: approach %q (want local or tunnel)", val)
 			}
 			p[key] = val
+		case "engine":
+			names := scenario.EngineNames()
+			found := false
+			for _, n := range names {
+				if n == val {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("-topo: unknown engine %q (registered: %v)", val, names)
+			}
+			p[key] = val
 		default:
-			return nil, fmt.Errorf("-topo: unknown key %q (want family, routers, mns, sources, members, dwell, horizon or approach)", key)
+			return nil, fmt.Errorf("-topo: unknown key %q (want family, routers, mns, sources, members, dwell, horizon, approach or engine)", key)
 		}
 	}
 	return p, nil

@@ -40,7 +40,7 @@ func main() {
 		l5.Frames, l6.Frames)
 
 	fmt.Println("\nrouter D's multicast state:")
-	for _, e := range run.F.Routers["D"].PIM.Entries() {
+	for _, e := range run.F.Routers["D"].Engine.Entries() {
 		fmt.Printf("  (S=%s, G=%s): upstream %s, forwarding on %v, pruned on %v\n",
 			e.Source, e.Group, e.Upstream, e.ForwardingOn, e.PrunedOn)
 	}

@@ -57,7 +57,7 @@ func measureF1(opt Options) F1Result {
 		DataBytesPerLink: map[string]uint64{},
 		FloodFramesL5:    l5.Frames,
 		FramesL6:         l6.Frames,
-		TreeAtD:          r.F.Routers["D"].PIM.Entries(),
+		TreeAtD:          r.F.Routers["D"].Engine.Entries(),
 		Delivered:        map[string]int{},
 		Sent:             r.CBR.Sent,
 	}

@@ -68,7 +68,7 @@ func runSMGOne(opt Options, nGroups int) SMGPoint {
 	for _, name := range scenario.RouterNames() {
 		router := f.Routers[name]
 		for _, ha := range router.HomeAgents() {
-			core.NewHAService(ha, router.PIM, nil, opt.MLD)
+			core.NewHAService(ha, router.Engine, nil, opt.MLD)
 		}
 	}
 	groups := make([]ipv6.Addr, nGroups)

@@ -60,7 +60,7 @@ func runSLDOne(opt Options, depth int, tunnel bool) SLDPoint {
 	for _, r := range topo.Routers {
 		router := r
 		for _, ha := range r.HomeAgents() {
-			core.NewHAService(ha, router.PIM, nil, opt.MLD)
+			core.NewHAService(ha, router.Engine, nil, opt.MLD)
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 
 	"mip6mcast/internal/check"
 	"mip6mcast/internal/exp"
+	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/mld"
 	"mip6mcast/internal/netem"
 	"mip6mcast/internal/obs"
@@ -75,6 +76,8 @@ func chaosMatrix() []chaosCell {
 // ChaosOutcome is one (cell, replicate) timeline's verdict.
 type ChaosOutcome struct {
 	Cell string
+	// Engine is the multicast engine the timeline ran (pimdm, hpimdm).
+	Engine string
 	// Seed replays the timeline: mip6sim -experiment chaos -seed <Seed>
 	// -replicates 1 reruns this exact event sequence.
 	Seed       int64
@@ -84,6 +87,14 @@ type ChaosOutcome struct {
 	// DelivR1 and DelivR3 are whole-run delivery ratios (R3 churns, so its
 	// ratio reflects the leave/rejoin/move windows, not protocol failure).
 	DelivR1, DelivR3 float64
+	// ConvTime is the post-churn convergence time: seconds from the heal
+	// instant (t=75) until the first 1 s sample at which every internal/check
+	// invariant holds. Capped at the quiesce window when convergence is never
+	// observed (the violation list then says why).
+	ConvTime float64
+	// PIMBytes totals the PIM control class over every link for the whole
+	// run — the head-to-head overhead axis of the engine comparison.
+	PIMBytes uint64
 	// Link-level impairment counters summed over all links.
 	Lost, Dup, Corrupted uint64
 }
@@ -142,20 +153,33 @@ func runChaosOne(opt Options, cell chaosCell, tracedir string) ChaosOutcome {
 	if cell.flap {
 		f.Links["L3"].SetUp(true)
 	}
-	f.Run(6 * time.Second) // t=65
-	r.MoveHost("R3", "L4") // back home
+	f.Run(6 * time.Second)  // t=65
+	r.MoveHost("R3", "L4")  // back home
 	f.Run(10 * time.Second) // t=75: heal
 	for _, l := range f.Links {
 		l.Impair = nil
 		l.LossRate = 0
 	}
-	f.Run(75 * time.Second) // quiesce to t=150
 
 	expct := check.Expectation{
 		Source:  f.Hosts["S"].MN.HomeAddress,
 		Group:   Group,
 		Members: map[string]bool{"R1": true, "R2": true, "R3": true},
 	}
+	// Quiesce to t=150, sampling convergence once per simulated second.
+	// The checks are read-only inspections of router state between event
+	// batches, so the sampling loop leaves the trace byte-identical to an
+	// unsampled run.
+	healAt := f.Sched.Now()
+	const quiesce = 75
+	conv := float64(quiesce)
+	for i := 0; i < quiesce; i++ {
+		f.Run(time.Second)
+		if conv == quiesce && len(check.Converged(f, expct)) == 0 {
+			conv = time.Duration(f.Sched.Now() - healAt).Seconds()
+		}
+	}
+
 	vs := check.Converged(f, expct)
 	retry := opt.PIM.GraftRetry
 	if retry == 0 {
@@ -163,9 +187,12 @@ func runChaosOne(opt Options, cell chaosCell, tracedir string) ChaosOutcome {
 	}
 	vs = append(vs, check.GraftLiveness(rec.Events(), retry, 2*time.Second, f.Sched.Now())...)
 
-	out := ChaosOutcome{Cell: cell.name, Seed: opt.Seed}
+	out := ChaosOutcome{Cell: cell.name, Engine: opt.EngineName(), Seed: opt.Seed, ConvTime: conv}
 	for _, v := range vs {
 		out.Violations = append(out.Violations, v.String())
+	}
+	for _, lc := range f.Acct.Snapshot() {
+		out.PIMBytes += lc.Bytes[metrics.ClassPIM]
 	}
 	if sent := float64(r.CBR.Sent); sent > 0 {
 		end := sim.Time(1 << 62)
@@ -178,7 +205,7 @@ func runChaosOne(opt Options, cell chaosCell, tracedir string) ChaosOutcome {
 		out.Corrupted += l.CorruptedDeliveries
 	}
 	if tracedir != "" {
-		out.TracePath = writeChaosTrace(tracedir, cell.name, opt.Seed, rec)
+		out.TracePath = writeChaosTrace(tracedir, out.Engine, cell.name, opt.Seed, rec)
 	}
 	return out
 }
@@ -186,17 +213,26 @@ func runChaosOne(opt Options, cell chaosCell, tracedir string) ChaosOutcome {
 // writeChaosTrace exports one timeline's JSONL trace. The file name embeds
 // the cell and seed, so reruns with different worker counts produce the
 // same file set with identical bytes — the determinism artifact the CI
-// smoke diffs. Returns "" on I/O failure (the experiment result still
-// carries the violations; tracing is best-effort).
-func writeChaosTrace(dir, cell string, seed int64, rec *obs.Recorder) string {
+// smoke diffs. Non-default engines get an engine tag in the name so an
+// engine-comparison run never collides with the default file set. Returns
+// "" on I/O failure (the experiment result still carries the violations;
+// tracing is best-effort).
+func writeChaosTrace(dir, eng, cell string, seed int64, rec *obs.Recorder) string {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return ""
 	}
-	path := filepath.Join(dir, fmt.Sprintf("chaos-%s-seed%d.jsonl", cell, seed))
+	name := fmt.Sprintf("chaos-%s-seed%d.jsonl", cell, seed)
+	if eng != "pimdm" {
+		name = fmt.Sprintf("chaos-%s-%s-seed%d.jsonl", eng, cell, seed)
+	}
+	path := filepath.Join(dir, name)
 	w, err := os.Create(path)
 	if err != nil {
 		return ""
 	}
+	// First line is replay metadata; the event stream follows.
+	fmt.Fprintf(w, "{\"meta\":{\"experiment\":\"chaos\",\"engine\":%q,\"cell\":%q,\"seed\":%d}}\n",
+		eng, cell, seed)
 	if err := rec.WriteJSONL(w); err != nil {
 		w.Close()
 		return ""
@@ -208,7 +244,7 @@ func writeChaosTrace(dir, cell string, seed int64, rec *obs.Recorder) string {
 }
 
 func runExpChaos(ctx exp.Context, p exp.Params) exp.Result {
-	ctx.Opt = chaosTune(ctx.Opt)
+	ctx.Opt = applyEngine(chaosTune(ctx.Opt), p)
 	tracedir := p.Str("tracedir")
 	cells := chaosMatrix()
 	points := make([]string, len(cells))
@@ -217,13 +253,15 @@ func runExpChaos(ctx exp.Context, p exp.Params) exp.Result {
 	}
 	spec := exp.SweepSpec{
 		Points:  points,
-		Columns: []string{"violations", "deliv-R1", "deliv-R3", "lost", "dup"},
+		Columns: []string{"violations", "conv(s)", "deliv-R1", "deliv-R3", "pim(KB)", "lost", "dup"},
 		Run: func(opt scenario.Options, pt int) (map[string]float64, any) {
 			res := runChaosOne(opt, cells[pt], tracedir)
 			return map[string]float64{
 				"violations": float64(len(res.Violations)),
+				"conv(s)":    res.ConvTime,
 				"deliv-R1":   res.DelivR1,
 				"deliv-R3":   res.DelivR3,
+				"pim(KB)":    float64(res.PIMBytes) / 1024,
 				"lost":       float64(res.Lost),
 				"dup":        float64(res.Dup),
 			}, res

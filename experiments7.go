@@ -67,6 +67,8 @@ type ScaleOutcome struct {
 	Family  string
 	Routers int
 	MNs     int
+	// Engine is the multicast engine the timeline ran (pimdm, hpimdm).
+	Engine string
 	// Seed replays the timeline: mip6sim -experiment scale with this seed
 	// and -replicates 1 reruns the exact event sequence.
 	Seed       int64
@@ -87,6 +89,10 @@ type ScaleOutcome struct {
 	// SGHighWater is the 1 s-sampled maximum of live (S,G) entries summed
 	// over all routers.
 	SGHighWater int
+	// ConvTime is the post-churn convergence time: seconds from the end of
+	// the churn window until the first 1 s sample at which the cell's
+	// invariants hold, capped at the quiesce window.
+	ConvTime float64
 	// PIMBytes / DataBytes total the control and data traffic classes over
 	// every link; HATunneled sums home-agent encapsulations.
 	PIMBytes, DataBytes uint64
@@ -140,7 +146,7 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 	for _, rn := range f.RouterOrder() {
 		router := f.Routers[rn]
 		for _, ha := range router.HomeAgents() {
-			core.NewHAService(ha, router.PIM, nil, opt.MLD)
+			core.NewHAService(ha, router.Engine, nil, opt.MLD)
 		}
 	}
 
@@ -234,7 +240,7 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 	sim.NewTicker(f.Sched, time.Second, 0, func() {
 		total := 0
 		for _, rn := range f.RouterOrder() {
-			total += f.Routers[rn].PIM.EntryCount()
+			total += f.Routers[rn].Engine.EntryCount()
 		}
 		if total > sgHi {
 			sgHi = total
@@ -261,6 +267,36 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 		curLAN[mv.MN] = to
 		f.Move(w.MNs[mv.MN].Name, g.Links[to].Name)
 	}
+	churnEnd := sim.Time(scaleSettle + cfg.horizon)
+	f.RunUntil(churnEnd)
+
+	members := map[string]bool{}
+	for _, mn := range w.MNs {
+		if mn.Member {
+			members[mn.Name] = true
+		}
+	}
+	// sampleOK is the convergence probe used to time post-churn recovery;
+	// it inspects router state read-only between event batches, so the
+	// sampled quiesce emits the same trace as an unsampled one. The probe
+	// is linear in routers+interfaces, so the sampling interval grows with
+	// topology size (1 s up to 32 routers) to keep measurement overhead off
+	// the macro benchmarks; conv(s) resolution coarsens accordingly.
+	sampleOK := func() bool {
+		if cfg.approach.Receive == ReceiveLocal {
+			e := check.Expectation{Source: srcHosts[0].MN.HomeAddress, Group: Group, Members: members}
+			return len(check.Converged(f, e)) == 0
+		}
+		return len(check.GraftsResolved(f)) == 0
+	}
+	step := time.Second * time.Duration(1+cell.routers/32)
+	conv := scaleQuiesce.Seconds()
+	for t := step; t <= scaleQuiesce; t += step {
+		f.RunUntil(churnEnd + sim.Time(t))
+		if conv == scaleQuiesce.Seconds() && sampleOK() {
+			conv = t.Seconds()
+		}
+	}
 	f.RunUntil(sim.Time(scaleSettle + cfg.horizon + scaleQuiesce))
 	for li := range g.Links {
 		closeDeparture(li)
@@ -272,12 +308,6 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 	// the approach-independent graft liveness is asserted there.
 	var vs []check.Violation
 	if cfg.approach.Receive == ReceiveLocal {
-		members := map[string]bool{}
-		for _, mn := range w.MNs {
-			if mn.Member {
-				members[mn.Name] = true
-			}
-		}
 		for si, h := range srcHosts {
 			e := check.Expectation{Source: h.MN.HomeAddress, Group: Group, Members: members}
 			if si == 0 {
@@ -299,12 +329,14 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 
 	out := ScaleOutcome{
 		Family: cell.family, Routers: cell.routers, MNs: cell.mns,
-		Seed: opt.Seed, Moves: len(w.Moves),
+		Engine: opt.EngineName(),
+		Seed:   opt.Seed, Moves: len(w.Moves),
 		JoinP50: joinQ.Quantile(0.5), JoinP95: joinQ.Quantile(0.95),
 		JoinMax: joinQ.Max(), JoinN: joinQ.N(),
-		LeaveMean:  leaveW.Mean(),
-		WasteBytes: wasteBytes,
+		LeaveMean:   leaveW.Mean(),
+		WasteBytes:  wasteBytes,
 		SGHighWater: sgHi,
+		ConvTime:    conv,
 	}
 	for _, v := range vs {
 		out.Violations = append(out.Violations, v.String())
@@ -319,7 +351,7 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 		}
 	}
 	if cfg.tracedir != "" && rec != nil {
-		out.TracePath = writeScaleTrace(cfg.tracedir, cell, opt.Seed, rec)
+		out.TracePath = writeScaleTrace(cfg.tracedir, out.Engine, cell, opt.Seed, rec)
 	}
 	return out
 }
@@ -327,16 +359,26 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 // writeScaleTrace exports one timeline's JSONL trace. The name embeds the
 // cell and seed, so reruns at any worker count produce the same file set
 // with identical bytes — the determinism artifact the CI smoke diffs.
-func writeScaleTrace(dir string, cell scaleCell, seed int64, rec *obs.Recorder) string {
+// Non-default engines get an engine tag so comparison runs never collide
+// with the default file set.
+func writeScaleTrace(dir, eng string, cell scaleCell, seed int64, rec *obs.Recorder) string {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return ""
 	}
-	path := filepath.Join(dir, fmt.Sprintf("scale-%s-r%d-mn%d-seed%d.jsonl",
-		cell.family, cell.routers, cell.mns, seed))
+	name := fmt.Sprintf("scale-%s-r%d-mn%d-seed%d.jsonl",
+		cell.family, cell.routers, cell.mns, seed)
+	if eng != "pimdm" {
+		name = fmt.Sprintf("scale-%s-%s-r%d-mn%d-seed%d.jsonl",
+			eng, cell.family, cell.routers, cell.mns, seed)
+	}
+	path := filepath.Join(dir, name)
 	w, err := os.Create(path)
 	if err != nil {
 		return ""
 	}
+	// First line is replay metadata; the event stream follows.
+	fmt.Fprintf(w, "{\"meta\":{\"experiment\":\"scale\",\"engine\":%q,\"cell\":%q,\"seed\":%d}}\n",
+		eng, fmt.Sprintf("%s-r%d-mn%d", cell.family, cell.routers, cell.mns), seed)
 	if err := rec.WriteJSONL(w); err != nil {
 		w.Close()
 		return ""
@@ -369,7 +411,7 @@ func ParseFamilies(s string) ([]string, error) {
 }
 
 func runExpScale(ctx exp.Context, p exp.Params) exp.Result {
-	ctx.Opt = chaosTune(ctx.Opt)
+	ctx.Opt = applyEngine(chaosTune(ctx.Opt), p)
 	families, err := ParseFamilies(p.Str("families"))
 	if err != nil {
 		panic("scale: " + err.Error())
@@ -415,12 +457,13 @@ func runExpScale(ctx exp.Context, p exp.Params) exp.Result {
 	}
 	spec := exp.SweepSpec{
 		Points: points,
-		Columns: []string{"violations", "join-p50(s)", "join-p95(s)", "leave(s)",
+		Columns: []string{"violations", "conv(s)", "join-p50(s)", "join-p95(s)", "leave(s)",
 			"waste(KB)", "sg-hi", "pim(KB)", "data(MB)", "ha-tun"},
 		Run: func(opt scenario.Options, pt int) (map[string]float64, any) {
 			res := runScaleOne(opt, cells[pt], cfg)
 			return map[string]float64{
 				"violations":  float64(len(res.Violations)),
+				"conv(s)":     res.ConvTime,
 				"join-p50(s)": res.JoinP50,
 				"join-p95(s)": res.JoinP95,
 				"leave(s)":    res.LeaveMean,

@@ -85,7 +85,7 @@ func NewRun(opt scenario.Options, approach Approach, cbrInterval time.Duration, 
 	for _, name := range scenario.RouterNames() {
 		router := f.Routers[name]
 		for _, ha := range router.HomeAgents() {
-			r.HAServices = append(r.HAServices, core.NewHAService(ha, router.PIM, nil, opt.MLD))
+			r.HAServices = append(r.HAServices, core.NewHAService(ha, router.Engine, nil, opt.MLD))
 		}
 	}
 
@@ -156,7 +156,7 @@ func (r *Run) RestartRouter(name string) {
 	}
 	r.F.RestartRouter(name)
 	for _, ha := range router.HomeAgents() {
-		r.HAServices = append(r.HAServices, core.NewHAService(ha, router.PIM, nil, r.F.Opt.MLD))
+		r.HAServices = append(r.HAServices, core.NewHAService(ha, router.Engine, nil, r.F.Opt.MLD))
 	}
 }
 

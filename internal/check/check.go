@@ -13,9 +13,9 @@ import (
 	"sort"
 	"time"
 
+	"mip6mcast/internal/engine"
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/obs"
-	"mip6mcast/internal/pimdm"
 	"mip6mcast/internal/scenario"
 	"mip6mcast/internal/sim"
 )
@@ -139,7 +139,7 @@ func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
 	}
 	for _, rn := range routers {
 		r := f.Routers[rn]
-		if r.PIM.HasLocalMember(exp.Group) {
+		if r.Engine.HasLocalMember(exp.Group) {
 			markNeed(rn)
 			continue
 		}
@@ -228,13 +228,13 @@ func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
 	return out
 }
 
-func findEntry(r *scenario.Router, src, group ipv6.Addr) (pimdm.SGInfo, bool) {
-	for _, info := range r.PIM.Entries() {
+func findEntry(r *scenario.Router, src, group ipv6.Addr) (engine.SGInfo, bool) {
+	for _, info := range r.Engine.Entries() {
 		if info.Source == src && info.Group == group {
 			return info, true
 		}
 	}
-	return pimdm.SGInfo{}, false
+	return engine.SGInfo{}, false
 }
 
 // NoZombies asserts invariant (b): no state owned by a dead incarnation or
@@ -249,7 +249,7 @@ func NoZombies(f *scenario.Network, exp Expectation) []Violation {
 	// relic of a dead incarnation or a forged message.
 	for _, rn := range f.RouterOrder() {
 		r := f.Routers[rn]
-		for _, info := range r.PIM.Entries() {
+		for _, info := range r.Engine.Entries() {
 			want := rpfLinkOf(f, r, info.Source)
 			got := info.Upstream
 			if want != got {
@@ -337,7 +337,7 @@ func GraftsResolved(f *scenario.Network) []Violation {
 	var out []Violation
 	for _, rn := range f.RouterOrder() {
 		r := f.Routers[rn]
-		for _, info := range r.PIM.Entries() {
+		for _, info := range r.Engine.Entries() {
 			if info.GraftPending {
 				out = append(out, Violation{
 					Invariant: "graft-pending", Node: rn,

@@ -67,7 +67,7 @@ func newRig(seed int64, approach core.Approach) *rig {
 	for _, name := range scenario.RouterNames() {
 		router := f.Routers[name]
 		for _, ln := range router.HALinks() {
-			r.hsvc[ln] = core.NewHAService(router.HAs[ln], router.PIM, nil, opt.MLD)
+			r.hsvc[ln] = core.NewHAService(router.HAs[ln], router.Engine, nil, opt.MLD)
 		}
 	}
 	for _, name := range scenario.HostNames() {

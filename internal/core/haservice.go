@@ -44,8 +44,8 @@ type HAService struct {
 	// Stats.
 	TunneledQueriesSent uint64
 
-	memberRefs    map[ipv6.Addr]int                            // group -> #bindings subscribed
-	bindingGroups map[ipv6.Addr]map[ipv6.Addr]bool             // home -> groups (current view)
+	memberRefs    map[ipv6.Addr]int                           // group -> #bindings subscribed
+	bindingGroups map[ipv6.Addr]map[ipv6.Addr]bool            // home -> groups (current view)
 	mldListeners  map[ipv6.Addr]map[ipv6.Addr]*tunnelListener // home -> group
 	queryTicker   *sim.Ticker
 }

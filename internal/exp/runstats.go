@@ -20,6 +20,9 @@ type CellStats struct {
 	Replicate int
 	// Label is the point label when the fan-out has one ("" for ForEach).
 	Label string
+	// Engine is the multicast engine the cell's options selected (always
+	// set; "pimdm" unless the experiment switched engines).
+	Engine string
 	// Wall is the wall-clock time the cell's Run body took.
 	Wall time.Duration
 	// Vals holds the cell's measured columns as returned by the sweep
@@ -81,7 +84,7 @@ func (c Context) reportCell(pt, rep int, label string, wall time.Duration, sched
 	if c.Progress == nil {
 		return
 	}
-	cs := CellStats{Point: pt, Replicate: rep, Label: label, Wall: wall, Vals: vals}
+	cs := CellStats{Point: pt, Replicate: rep, Label: label, Engine: c.Opt.EngineName(), Wall: wall, Vals: vals}
 	for _, s := range scheds {
 		cs.Sched = mergeRunStats(cs.Sched, s.RunStats())
 	}

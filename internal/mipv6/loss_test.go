@@ -58,3 +58,38 @@ func TestTunnelLossRatio(t *testing.T) {
 		t.Fatalf("delivery ratio %.3f under 25%% transit loss, want ≈0.75", ratio)
 	}
 }
+
+// TestDeregistrationRetransmitsUnderLoss: the mobile node returns to a
+// lossy home link. The lifetime-0 Binding Update requests an
+// acknowledgement like any other registration, so losing it must trigger
+// retransmission until the home agent drops the binding — otherwise the
+// stale entry keeps the home agent defending and tunneling for a host
+// that is back on-link.
+func TestDeregistrationRetransmitsUnderLoss(t *testing.T) {
+	f := newFixture(57)
+	f.s.RunUntil(sim.Time(5 * time.Second))
+	f.net.Move(f.mnod.Ifaces[0], f.l["L2"])
+	f.s.RunUntil(sim.Time(20 * time.Second))
+	if _, ok := f.ha.BindingFor(f.mn.HomeAddress); !ok {
+		t.Fatal("no binding after move")
+	}
+
+	// The home agent lives on the home link, so the deregistration (and
+	// its ack) crosses L1 — lose half of everything there.
+	f.l["L1"].LossRate = 0.5
+	sent := f.mn.BindingUpdatesSent
+	f.net.Move(f.mnod.Ifaces[0], f.l["L1"])
+	f.s.RunUntil(sim.Time(3 * time.Minute))
+
+	if !f.mn.AtHome() {
+		t.Fatal("MN did not detect return home")
+	}
+	if _, ok := f.ha.BindingFor(f.mn.HomeAddress); ok {
+		t.Fatalf("binding survived deregistration under 50%% loss (%d BUs sent)",
+			f.mn.BindingUpdatesSent-sent)
+	}
+	if f.mn.BindingUpdatesSent-sent < 2 {
+		t.Fatalf("only %d deregistration BUs sent; retransmission machinery idle",
+			f.mn.BindingUpdatesSent-sent)
+	}
+}

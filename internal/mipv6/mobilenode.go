@@ -110,7 +110,7 @@ func NewMobileNode(node *netem.Node, iid uint64, cfg MNConfig) *MobileNode {
 	s := node.Sched()
 	prev := s.PushTag("mip")
 	defer s.PopTag(prev)
-	mn.ackWait = sim.NewTimer(s, func() { mn.sendBindingUpdate() })
+	mn.ackWait = sim.NewTimer(s, func() { mn.retransmitBinding() })
 	mn.refresh = sim.NewTicker(s, cfg.BindingLifetime/2, cfg.BindingLifetime/8, func() {
 		if !mn.atHome && !mn.Config.DisableProactiveRefresh {
 			mn.sendBindingUpdate()
@@ -261,9 +261,22 @@ func (mn *MobileNode) sendDeregistration() {
 	}
 	_ = mn.Node.Output(pkt)
 	mn.BindingUpdatesSent++
-	// No retransmission pressure at home; the proxy entry matters little
-	// once the real owner answers on-link.
-	mn.ackWait.Stop()
+	// The deregistration requests an acknowledgement like any other
+	// Binding Update: if it is lost, the home agent keeps proxying the
+	// home address (and tunneling multicast) until the binding lifetime
+	// expires, long after the owner is back on-link. Retransmit until the
+	// Binding Ack arrives.
+	mn.ackWait.Reset(mn.Config.RetransmitInterval)
+}
+
+// retransmitBinding re-sends whichever Binding Update is outstanding: the
+// deregistration when the node is back home, the registration otherwise.
+func (mn *MobileNode) retransmitBinding() {
+	if mn.atHome {
+		mn.sendDeregistration()
+		return
+	}
+	mn.sendBindingUpdate()
 }
 
 // handleOption processes Binding Acknowledgements and Binding Requests

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"mip6mcast/internal/engine"
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/netem"
 	"mip6mcast/internal/obs"
@@ -110,33 +111,12 @@ func DefaultConfig() Config {
 // UnicastRouting is what PIM needs from the unicast substrate ("protocol
 // independent": any IGP providing these answers will do).
 // routing.RouterTable implements it.
-type UnicastRouting interface {
-	// RPFInterface returns the interface and upstream neighbor toward src
-	// (neighbor is the zero address when src is directly attached).
-	RPFInterface(src ipv6.Addr) (*netem.Interface, ipv6.Addr, bool)
-	// HopsTo is the unicast metric toward dst, for Assert comparison.
-	HopsTo(dst ipv6.Addr) (int, bool)
-}
+type UnicastRouting = engine.UnicastRouting
 
 // Stats counts protocol activity; the benchmarks reproduce the paper's
-// overhead arguments from these.
-type Stats struct {
-	HellosSent        uint64
-	PrunesSent        uint64
-	JoinsSent         uint64
-	GraftsSent        uint64
-	GraftAcksSent     uint64
-	AssertsSent       uint64
-	AssertsHeard      uint64
-	DataForwarded     uint64 // copies transmitted
-	DataArrived       uint64 // datagrams offered to the engine
-	RPFFailures       uint64 // arrived on wrong interface
-	EntriesCreated    uint64
-	FloodsStarted     uint64 // new (S,G) entries = initial floods
-	StateRefreshSent  uint64
-	StateRefreshHeard uint64
-	PruneEchoesSent   uint64
-}
+// overhead arguments from these. The type is the cross-engine stats
+// struct; PIM-DM leaves the hard-state sync counters at zero.
+type Stats = engine.Stats
 
 // Engine is the PIM-DM instance on one router.
 type Engine struct {
@@ -245,8 +225,14 @@ type downstreamState struct {
 }
 
 // New creates the PIM-DM engine on node and registers it as the node's
-// multicast forwarder. All current and future interfaces run PIM.
+// multicast forwarder. All current and future interfaces run PIM. The
+// config is validated here — every construction path (hand-built
+// scenarios and topo-built routers alike) goes through New, so a bad
+// timer set fails loudly at build time instead of misbehaving mid-run.
 func New(node *netem.Node, cfg Config, routing UnicastRouting) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	e := &Engine{
 		Node:             node,
 		Config:           cfg,
@@ -618,15 +604,15 @@ func (e *Engine) entriesSorted() []*sgEntry {
 // attributes to stale trees of moved senders.
 func (e *Engine) EntryCount() int { return len(e.entries) }
 
-// SGInfo is a snapshot of one (S,G) entry for inspection.
-type SGInfo struct {
-	Source, Group  ipv6.Addr
-	Upstream       string
-	PrunedUpstream bool
-	GraftPending   bool
-	ForwardingOn   []string
-	PrunedOn       []string
-}
+// Name implements engine.MulticastEngine.
+func (e *Engine) Name() string { return "pimdm" }
+
+// MulticastStats implements engine.MulticastEngine.
+func (e *Engine) MulticastStats() Stats { return e.Stats }
+
+// SGInfo is a snapshot of one (S,G) entry for inspection (the
+// cross-engine structured state dump).
+type SGInfo = engine.SGInfo
 
 // Entries snapshots all (S,G) state, sorted for determinism.
 func (e *Engine) Entries() []SGInfo {
@@ -645,10 +631,13 @@ func (e *Engine) Entries() []SGInfo {
 			if !ifc.Up() {
 				continue
 			}
-			if ds.pruned || ds.assertLoser {
-				info.PrunedOn = append(info.PrunedOn, ifc.Link.Name)
-			} else if ent.shouldForward(ifc, ds) {
+			// shouldForward first: local membership overrides a neighbor's
+			// Prune on the data path, so the snapshot must agree with what
+			// ForwardMulticast actually does.
+			if ent.shouldForward(ifc, ds) {
 				info.ForwardingOn = append(info.ForwardingOn, ifc.Link.Name)
+			} else if ds.pruned || ds.assertLoser {
+				info.PrunedOn = append(info.PrunedOn, ifc.Link.Name)
 			}
 		}
 		sort.Strings(info.ForwardingOn)

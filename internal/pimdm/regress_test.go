@@ -4,13 +4,16 @@ package pimdm_test
 // filtering, the zero JoinOverrideInterval panic, and Config validation.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
 
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/mld"
+	"mip6mcast/internal/netem"
 	"mip6mcast/internal/pimdm"
+	"mip6mcast/internal/routing"
 	"mip6mcast/internal/sim"
 )
 
@@ -117,4 +120,31 @@ func TestConfigValidate(t *testing.T) {
 			t.Errorf("%s: Validate() = %q, want mention of %q", tc.name, err, tc.want)
 		}
 	}
+}
+
+// TestNewValidatesConfig covers the fix for silently-accepted invalid
+// configs: Validate used to exist but had no production caller, so a bad
+// Config (zero HelloInterval, inverted override window) built an engine
+// with broken timers. New must reject it up front.
+func TestNewValidatesConfig(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted an invalid config; want panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "HelloInterval") {
+			t.Fatalf("panic %v, want mention of HelloInterval", r)
+		}
+	}()
+	s := sim.NewScheduler(1)
+	net := netem.New(s)
+	l := net.NewLink("L1", 0, time.Millisecond)
+	n := net.NewNode("A", true)
+	n.AddInterface(l)
+	dom := routing.NewDomain(net)
+	dom.AssignPrefix(l, ipv6.MustParseAddr("2001:db8:1::"))
+	dom.Recompute()
+	cfg := pimdm.DefaultConfig()
+	cfg.HelloInterval = 0
+	pimdm.New(n, cfg, dom.TableOf(n))
 }

@@ -26,6 +26,16 @@ const (
 	TypeGraftAck  uint8 = 7
 )
 
+// HPIM-DM declaration types (internal/hpimdm). The hard-state engine
+// shares the PIMv2 header, checksum and encoded-address formats, so its
+// messages live in this codec; type codes sit in the space PIMv2 leaves
+// unassigned for dense mode (10–12).
+const (
+	TypeInterest   uint8 = 10 // reliable "I want (S,G)" toward upstream
+	TypeNoInterest uint8 = 11 // reliable "stop sending (S,G)"
+	TypeDeclAck    uint8 = 12 // acknowledges a declaration by sequence
+)
+
 const pimVersion = 2
 
 // Message is any PIM message that can render its body.
@@ -71,6 +81,8 @@ func Parse(src, dst ipv6.Addr, b []byte) (Message, error) {
 		return parseAssert(body)
 	case TypeStateRefresh:
 		return parseStateRefresh(body)
+	case TypeInterest, TypeNoInterest, TypeDeclAck:
+		return parseDeclaration(t, body)
 	default:
 		return nil, fmt.Errorf("pimdm: unsupported type %d", t)
 	}
@@ -141,9 +153,15 @@ func getEncodedSource(b []byte) (ipv6.Addr, []byte, error) {
 }
 
 // Hello is the PIM neighbor-discovery message (§4.3). Option 1 carries the
-// holdtime.
+// holdtime; option 20 (Generation ID) is emitted only when GenID is
+// non-zero, so engines that don't use it (classic PIM-DM) keep their
+// Hello bytes — and the golden traces pinned to them — unchanged.
 type Hello struct {
 	Holdtime time.Duration // 0xffff = never timeout; 0 = goodbye
+	// GenID is the sender's randomly chosen generation identifier. A
+	// change signals the neighbor restarted and lost all state (hard-state
+	// engines re-sync their declarations on it). Zero = option absent.
+	GenID uint32
 }
 
 // PIMType implements Message.
@@ -154,10 +172,17 @@ func (h *Hello) body() ([]byte, error) {
 	if secs > 0xffff {
 		secs = 0xffff
 	}
-	b := make([]byte, 6)
+	b := make([]byte, 6, 12)
 	binary.BigEndian.PutUint16(b[0:2], 1) // option type 1: holdtime
 	binary.BigEndian.PutUint16(b[2:4], 2) // length
 	binary.BigEndian.PutUint16(b[4:6], uint16(secs))
+	if h.GenID != 0 {
+		var o [8]byte
+		binary.BigEndian.PutUint16(o[0:2], 20) // option type 20: generation ID
+		binary.BigEndian.PutUint16(o[2:4], 4)  // length
+		binary.BigEndian.PutUint32(o[4:8], h.GenID)
+		b = append(b, o[:]...)
+	}
 	return b, nil
 }
 
@@ -172,11 +197,17 @@ func parseHello(b []byte) (*Hello, error) {
 		if len(b) < 4+l {
 			return nil, fmt.Errorf("pimdm: hello option overruns")
 		}
-		if typ == 1 {
+		switch typ {
+		case 1:
 			if l != 2 {
 				return nil, fmt.Errorf("pimdm: holdtime option length %d", l)
 			}
 			h.Holdtime = time.Duration(binary.BigEndian.Uint16(b[4:6])) * time.Second
+		case 20:
+			if l != 4 {
+				return nil, fmt.Errorf("pimdm: generation ID option length %d", l)
+			}
+			h.GenID = binary.BigEndian.Uint32(b[4:8])
 		}
 		b = b[4+l:]
 	}
@@ -334,6 +365,59 @@ func parseAssert(b []byte) (*Assert, error) {
 	a.MetricPreference = pref & 0x7fffffff
 	a.Metric = binary.BigEndian.Uint32(b[4:8])
 	return a, nil
+}
+
+// Declaration is an HPIM-DM per-neighbor reliable sync message: one
+// (S,G) interest statement (TypeInterest / TypeNoInterest) unicast to the
+// Target router, carrying a per-sender Seq the receiver echoes back in a
+// TypeDeclAck. The sender retransmits until the matching ack arrives —
+// hard state replacing PIM-DM's periodic holdtime refresh.
+type Declaration struct {
+	Kind uint8 // TypeInterest, TypeNoInterest or TypeDeclAck
+	// Target is the router being addressed (the upstream neighbor for
+	// declarations, the original declarer for acks).
+	Target ipv6.Addr
+	Seq    uint32
+	Group  ipv6.Addr
+	Source ipv6.Addr
+}
+
+// PIMType implements Message.
+func (d *Declaration) PIMType() uint8 { return d.Kind }
+
+func (d *Declaration) body() ([]byte, error) {
+	b := putEncodedUnicast(nil, d.Target)
+	var s [4]byte
+	binary.BigEndian.PutUint32(s[:], d.Seq)
+	b = append(b, s[:]...)
+	b = putEncodedGroup(b, d.Group)
+	return putEncodedSource(b, d.Source), nil
+}
+
+func parseDeclaration(kind uint8, b []byte) (*Declaration, error) {
+	d := &Declaration{Kind: kind}
+	var err error
+	d.Target, b, err = getEncodedUnicast(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("pimdm: declaration truncated")
+	}
+	d.Seq = binary.BigEndian.Uint32(b[0:4])
+	b = b[4:]
+	d.Group, b, err = getEncodedGroup(b)
+	if err != nil {
+		return nil, err
+	}
+	d.Source, b, err = getEncodedSource(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("pimdm: %d trailing bytes in declaration", len(b))
+	}
+	return d, nil
 }
 
 // Better reports whether assert tuple (pref1, metric1, addr1) beats

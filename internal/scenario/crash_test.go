@@ -53,9 +53,9 @@ func TestCrashedRouterNeverTransmits(t *testing.T) {
 	if fromD != 0 {
 		t.Fatalf("dead router transmitted %d frames; some engine timer survived Crash", fromD)
 	}
-	hellosAtCrash := d.PIM.Stats.HellosSent
+	hellosAtCrash := d.Engine.MulticastStats().HellosSent
 	f.Run(10 * time.Minute)
-	if d.PIM.Stats.HellosSent != hellosAtCrash {
+	if d.Engine.MulticastStats().HellosSent != hellosAtCrash {
 		t.Fatal("closed PIM engine kept sending hellos")
 	}
 
@@ -79,7 +79,7 @@ func TestCrashedRouterNeverTransmits(t *testing.T) {
 	if !d.MLD.HasListeners(l4, Group) {
 		t.Fatal("restarted MLD querier did not relearn R3's membership")
 	}
-	if !d.PIM.HasLocalMember(Group) && d.PIM.EntryCount() == 0 {
+	if !d.Engine.HasLocalMember(Group) && d.Engine.EntryCount() == 0 {
 		// No data flows in this test; just require the MLD->PIM wiring to
 		// have reported the listener to the fresh engine.
 		t.Log("note: no (S,G) entries without a sender; listener wiring checked via MLD")

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"mip6mcast/internal/engine"
+	"mip6mcast/internal/hpimdm"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/pimdm"
+)
+
+// EngineBuilder constructs one router's multicast engine from the build
+// options. Builders derive any engine-specific configuration from
+// Options (hpimdm maps the shared PIM timer set onto its own config), so
+// a single Options value drives every engine the same scenario compares.
+type EngineBuilder func(node *netem.Node, opt Options, rt engine.UnicastRouting) engine.MulticastEngine
+
+var engineBuilders = map[string]EngineBuilder{}
+
+// RegisterEngine adds a multicast engine to the registry under name.
+// Registration happens at init time; duplicate names panic.
+func RegisterEngine(name string, b EngineBuilder) {
+	if _, dup := engineBuilders[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate engine %q", name))
+	}
+	engineBuilders[name] = b
+}
+
+// EngineNames lists the registered engines, sorted.
+func EngineNames() []string {
+	names := make([]string, 0, len(engineBuilders))
+	for n := range engineBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EngineName resolves the effective engine selection: the zero value
+// selects classic PIM-DM, keeping every pre-registry caller (and the
+// golden traces they pinned) unchanged.
+func (o Options) EngineName() string {
+	if o.Engine == "" {
+		return "pimdm"
+	}
+	return o.Engine
+}
+
+// buildEngine constructs the selected engine; unknown names panic (the
+// experiment layer validates user input before any network is built, so
+// reaching here with a bad name is a programming error).
+func buildEngine(node *netem.Node, opt Options, rt engine.UnicastRouting) engine.MulticastEngine {
+	b, ok := engineBuilders[opt.EngineName()]
+	if !ok {
+		panic(fmt.Sprintf("scenario: unknown multicast engine %q (registered: %v)", opt.EngineName(), EngineNames()))
+	}
+	return b(node, opt, rt)
+}
+
+func init() {
+	RegisterEngine("pimdm", func(node *netem.Node, opt Options, rt engine.UnicastRouting) engine.MulticastEngine {
+		return pimdm.New(node, opt.PIM, rt)
+	})
+	RegisterEngine("hpimdm", func(node *netem.Node, opt Options, rt engine.UnicastRouting) engine.MulticastEngine {
+		return hpimdm.New(node, hpimdm.FromPIM(opt.PIM), rt)
+	})
+}

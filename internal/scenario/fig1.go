@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"mip6mcast/internal/engine"
 	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/mipv6"
@@ -24,7 +25,13 @@ var Group = ipv6.MustParseAddr("ff0e::101")
 // Options parameterizes a network build. The zero value is not useful; use
 // DefaultOptions.
 type Options struct {
-	Seed    int64
+	Seed int64
+	// Engine selects the dense-mode multicast engine by registry name
+	// ("pimdm", "hpimdm"); empty selects pimdm. See RegisterEngine.
+	Engine string
+	// PIM is the shared dense-mode timer set. Every engine derives its
+	// configuration from it (hpimdm via hpimdm.FromPIM) so one Options
+	// value parameterizes a cross-engine comparison consistently.
 	PIM     pimdm.Config
 	MLD     mld.Config
 	HostMLD mld.HostConfig
@@ -85,12 +92,13 @@ func DefaultOptions() Options {
 	}
 }
 
-// Router bundles one router's protocol roles.
+// Router bundles one router's protocol roles. Engine is the dense-mode
+// multicast engine built by the registry selection in Options.Engine.
 type Router struct {
-	Node *netem.Node
-	PIM  *pimdm.Engine
-	MLD  *mld.Router
-	NDP  *ndp.Router
+	Node   *netem.Node
+	Engine engine.MulticastEngine
+	MLD    *mld.Router
+	NDP    *ndp.Router
 	// HAs maps home-link name to the home agent instance this router runs
 	// for it (per the paper: A serves L1, B L2, C L3, D L4+L5, E L6).
 	HAs map[string]*mipv6.HomeAgent
@@ -214,11 +222,11 @@ func NewFigure1(opt Options) *Network {
 func (f *Network) startRouterProtocols(name string) {
 	r := f.Routers[name]
 	opt := f.Opt
-	r.PIM = pimdm.New(r.Node, opt.PIM, f.Dom.TableOf(r.Node))
+	r.Engine = buildEngine(r.Node, opt, f.Dom.TableOf(r.Node))
 	r.MLD = mld.NewRouter(r.Node, opt.MLD)
-	pim := r.PIM
+	eng := r.Engine
 	r.MLD.OnListenerChange = func(ev mld.ListenerEvent) {
-		pim.HandleListenerChange(ev.Iface, ev.Group, ev.Present)
+		eng.HandleListenerChange(ev.Iface, ev.Group, ev.Present)
 	}
 	r.NDP = ndp.NewRouter(r.Node, opt.NDP, func(ifc *netem.Interface) (ipv6.Addr, bool) {
 		return f.Dom.PrefixOf(ifc.Link)
@@ -242,8 +250,8 @@ func (f *Network) CrashRouter(name string) {
 	if !ok {
 		return
 	}
-	if r.PIM != nil {
-		r.PIM.Close()
+	if r.Engine != nil {
+		r.Engine.Close()
 	}
 	if r.MLD != nil {
 		r.MLD.Close()
@@ -275,7 +283,7 @@ func (f *Network) RestartRouter(name string) {
 	f.startRouterProtocols(name)
 	if f.obs != nil {
 		f.obs.Instant(name, "node "+name, "restart", "")
-		r.PIM.AttachRecorder(f.obs)
+		r.Engine.AttachRecorder(f.obs)
 		r.MLD.AttachRecorder(f.obs)
 		for _, ha := range r.HomeAgents() {
 			ha.AttachRecorder(f.obs)
@@ -300,7 +308,7 @@ func (f *Network) AttachRecorder(rec *obs.Recorder) {
 		if !ok {
 			continue
 		}
-		r.PIM.AttachRecorder(rec)
+		r.Engine.AttachRecorder(rec)
 		r.MLD.AttachRecorder(rec)
 		for _, ha := range r.HomeAgents() {
 			ha.AttachRecorder(rec)
@@ -394,33 +402,27 @@ func (f *Network) SendLocalMulticast(host string, group ipv6.Addr, payload []byt
 	_ = h.Node.OutputOn(h.Iface, pkt)
 }
 
-// TotalSGEntries sums live PIM (S,G) state across all routers — the
-// paper's router storage-load criterion.
+// TotalSGEntries sums live (S,G) state across all routers — the paper's
+// router storage-load criterion.
 func (f *Network) TotalSGEntries() int {
 	n := 0
 	for _, r := range f.Routers {
-		n += r.PIM.EntryCount()
+		n += r.Engine.EntryCount()
 	}
 	return n
 }
 
-// PIMStats aggregates the control-message counters of all routers.
-func (f *Network) PIMStats() pimdm.Stats {
-	var t pimdm.Stats
+// MulticastStats aggregates the control-message counters of all routers,
+// whatever engine they run.
+func (f *Network) MulticastStats() engine.Stats {
+	var t engine.Stats
 	for _, name := range f.routerOrder {
-		s := f.Routers[name].PIM.Stats
-		t.HellosSent += s.HellosSent
-		t.PrunesSent += s.PrunesSent
-		t.JoinsSent += s.JoinsSent
-		t.GraftsSent += s.GraftsSent
-		t.GraftAcksSent += s.GraftAcksSent
-		t.AssertsSent += s.AssertsSent
-		t.AssertsHeard += s.AssertsHeard
-		t.DataForwarded += s.DataForwarded
-		t.DataArrived += s.DataArrived
-		t.RPFFailures += s.RPFFailures
-		t.EntriesCreated += s.EntriesCreated
-		t.FloodsStarted += s.FloodsStarted
+		t.Add(f.Routers[name].Engine.MulticastStats())
 	}
 	return t
 }
+
+// PIMStats aggregates the control-message counters of all routers.
+//
+// Deprecated: use MulticastStats, which serves every registered engine.
+func (f *Network) PIMStats() pimdm.Stats { return f.MulticastStats() }

@@ -10,7 +10,6 @@ import (
 	"mip6mcast/internal/mld"
 	"mip6mcast/internal/ndp"
 	"mip6mcast/internal/netem"
-	"mip6mcast/internal/pimdm"
 	"mip6mcast/internal/routing"
 	"mip6mcast/internal/sim"
 )
@@ -112,11 +111,11 @@ func (t *Topo) addRouter(name string, links ...*netem.Link) *Router {
 func (t *Topo) finish(haFor func(*netem.Link) *Router) {
 	t.Dom.Recompute()
 	for _, r := range t.Routers {
-		r.PIM = pimdm.New(r.Node, t.Opt.PIM, t.Dom.TableOf(r.Node))
+		r.Engine = buildEngine(r.Node, t.Opt, t.Dom.TableOf(r.Node))
 		r.MLD = mld.NewRouter(r.Node, t.Opt.MLD)
-		pim := r.PIM
+		eng := r.Engine
 		r.MLD.OnListenerChange = func(ev mld.ListenerEvent) {
-			pim.HandleListenerChange(ev.Iface, ev.Group, ev.Present)
+			eng.HandleListenerChange(ev.Iface, ev.Group, ev.Present)
 		}
 		r.NDP = ndp.NewRouter(r.Node, t.Opt.NDP, func(ifc *netem.Interface) (ipv6.Addr, bool) {
 			return t.Dom.PrefixOf(ifc.Link)

@@ -136,6 +136,13 @@ func classify(pkt *ipv6.Packet) (kind, detail string) {
 				p = " P"
 			}
 			return "pim-staterefresh", fmt.Sprintf("src=%s grp=%s ttl=%d%s", m.Source, m.Group, m.TTL, p)
+		case *pimdm.Declaration:
+			kind := map[uint8]string{
+				pimdm.TypeInterest:   "hpim-interest",
+				pimdm.TypeNoInterest: "hpim-nointerest",
+				pimdm.TypeDeclAck:    "hpim-ack",
+			}[m.Kind]
+			return kind, fmt.Sprintf("to=%s seq=%d src=%s grp=%s", m.Target, m.Seq, m.Source, m.Group)
 		case *pimdm.JoinPrune:
 			kind := map[uint8]string{
 				pimdm.TypeJoinPrune: "pim-joinprune",

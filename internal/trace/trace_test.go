@@ -23,7 +23,7 @@ func runScenario(t *testing.T) *trace.Collector {
 	for _, name := range scenario.RouterNames() {
 		r := f.Routers[name]
 		for _, ha := range r.HAs {
-			core.NewHAService(ha, r.PIM, nil, opt.MLD)
+			core.NewHAService(ha, r.Engine, nil, opt.MLD)
 		}
 	}
 	svcs := map[string]*core.Service{}

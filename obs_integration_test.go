@@ -23,7 +23,7 @@ func buildHandover(opt scenario.Options, approach Approach, moveAt time.Duration
 	for _, name := range scenario.RouterNames() {
 		r := f.Routers[name]
 		for _, ha := range r.HomeAgents() {
-			core.NewHAService(ha, r.PIM, nil, opt.MLD)
+			core.NewHAService(ha, r.Engine, nil, opt.MLD)
 		}
 	}
 	svcs := map[string]*core.Service{}

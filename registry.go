@@ -112,6 +112,7 @@ func init() {
 		Desc:  "chaos: fault-injection matrix with convergence invariant checks",
 		Sweep: true,
 		Params: []exp.Param{
+			paramEngine(),
 			{Name: "tracedir", Desc: "write each timeline's JSONL trace under this directory for seed replay; empty disables",
 				Kind: exp.String, Default: ""},
 		},
@@ -137,11 +138,39 @@ func init() {
 			{Name: "horizon", Desc: "churn window length (s)", Kind: exp.Int, Default: 60},
 			{Name: "approach", Desc: "receive approach: local or tunnel", Kind: exp.String,
 				Default: "local"},
+			paramEngine(),
 			{Name: "tracedir", Desc: "write each timeline's JSONL trace under this directory for seed replay; empty disables",
 				Kind: exp.String, Default: ""},
 		},
 		Run: runExpScale,
 	})
+}
+
+// paramEngine is the multicast-engine selector shared by the comparison
+// sweeps. The default keeps every existing golden trace byte-identical.
+func paramEngine() exp.Param {
+	return exp.Param{
+		Name: "engine", Desc: "multicast engine: pimdm or hpimdm",
+		Kind: exp.String, Default: "pimdm",
+	}
+}
+
+// applyEngine validates the engine parameter against the scenario
+// registry and selects it in the build options.
+func applyEngine(opt Options, p exp.Params) Options {
+	name := p.Str("engine")
+	found := false
+	for _, n := range scenario.EngineNames() {
+		if n == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("unknown multicast engine %q (registered: %v)", name, scenario.EngineNames()))
+	}
+	opt.Engine = name
+	return opt
 }
 
 // paramTQuery is the shared MLD-tuning knob of the extension studies,

@@ -32,11 +32,11 @@ func TestRegistryCoversAllExperiments(t *testing.T) {
 // configuration so the worker-count determinism check stays affordable.
 // Experiments without an entry run with their declared defaults.
 var detParams = map[string]exp.Params{
-	"s44":  {"tquery": []int{10}},
-	"s431": {"moves": []int{2}},
-	"s432": {"n": []int{2}},
-	"smg":  {"groups": []int{4}},
-	"sld":  {"depths": []int{2}},
+	"s44":   {"tquery": []int{10}},
+	"s431":  {"moves": []int{2}},
+	"s432":  {"n": []int{2}},
+	"smg":   {"groups": []int{4}},
+	"sld":   {"depths": []int{2}},
 	"smtu":  {"payloads": []int{1413}, "losses": []float64{0.05}},
 	"scale": {"families": "tree+grid", "routers": []int{4}},
 }

@@ -38,20 +38,42 @@ else
     exit 1
 fi
 
-# Scale determinism smoke: the smallest tree and grid cells of the
-# procedural-topology sweep, same contract as the chaos smoke — fixed seed,
-# byte-identical per-timeline JSONL traces at workers 1 vs 8 under the race
-# detector, and a zero violations column (field 2 of each table row).
-go run -race ./cmd/mip6sim -experiment scale -topo family=tree+grid,routers=4,mns=8 \
-    -replicates 1 -seed 7 -workers 1 -trace-out "$tmp/s1" > "$tmp/s1.out"
-go run -race ./cmd/mip6sim -experiment scale -topo family=tree+grid,routers=4,mns=8 \
-    -replicates 1 -seed 7 -workers 8 -trace-out "$tmp/s8" > "$tmp/s8.out"
-diff -r "$tmp/s1" "$tmp/s8"
-diff "$tmp/s1.out" "$tmp/s8.out"
-if awk 'NR > 2 && NF > 1 && $2 != "0" { bad = 1 } END { exit bad }' "$tmp/s1.out"; then
-    echo "scale smoke: workers=1 and workers=8 traces byte-identical, 0 violations"
+# Chaos under the hard-state engine: the same determinism and
+# zero-violation contract must hold with engine=hpimdm (engine-tagged trace
+# files, so this never collides with the default smoke above).
+go run -race ./cmd/mip6sim -experiment chaos -topo engine=hpimdm -replicates 1 -seed 7 \
+    -workers 1 -trace-out "$tmp/h1" > "$tmp/h1.out"
+go run -race ./cmd/mip6sim -experiment chaos -topo engine=hpimdm -replicates 1 -seed 7 \
+    -workers 8 -trace-out "$tmp/h8" > "$tmp/h8.out"
+diff -r "$tmp/h1" "$tmp/h8"
+diff "$tmp/h1.out" "$tmp/h8.out"
+if awk 'NR > 2 && NF > 1 && $2 != "0" { bad = 1 } END { exit bad }' "$tmp/h1.out"; then
+    echo "chaos smoke (hpimdm): workers=1 and workers=8 traces byte-identical, 0 violations"
 else
-    echo "scale smoke: invariant violations reported:" >&2
-    cat "$tmp/s1.out" >&2
+    echo "chaos smoke (hpimdm): invariant violations reported:" >&2
+    cat "$tmp/h1.out" >&2
     exit 1
 fi
+
+# Scale determinism smoke: the fig1, tree and grid cells of the
+# procedural-topology sweep under BOTH engines, same contract as the chaos
+# smoke — fixed seed, byte-identical per-timeline JSONL traces at workers
+# 1 vs 8 under the race detector, and a zero violations column (field 2 of
+# each table row).
+for eng in pimdm hpimdm; do
+    go run -race ./cmd/mip6sim -experiment scale \
+        -topo family=fig1+tree+grid,routers=4,mns=8,engine=$eng \
+        -replicates 1 -seed 7 -workers 1 -trace-out "$tmp/s1-$eng" > "$tmp/s1-$eng.out"
+    go run -race ./cmd/mip6sim -experiment scale \
+        -topo family=fig1+tree+grid,routers=4,mns=8,engine=$eng \
+        -replicates 1 -seed 7 -workers 8 -trace-out "$tmp/s8-$eng" > "$tmp/s8-$eng.out"
+    diff -r "$tmp/s1-$eng" "$tmp/s8-$eng"
+    diff "$tmp/s1-$eng.out" "$tmp/s8-$eng.out"
+    if awk 'NR > 2 && NF > 1 && $2 != "0" { bad = 1 } END { exit bad }' "$tmp/s1-$eng.out"; then
+        echo "scale smoke ($eng): workers=1 and workers=8 traces byte-identical, 0 violations"
+    else
+        echo "scale smoke ($eng): invariant violations reported:" >&2
+        cat "$tmp/s1-$eng.out" >&2
+        exit 1
+    fi
+done
