@@ -27,21 +27,25 @@ check: build vet race
 # mobile nodes), link delivery and multicast fan-out micro-benches,
 # scheduler dispatch cost, the PR2 observability benches, and the PR4
 # impairment-hook cost (the /off case must match BenchmarkMulticastFanout's
-# allocs/op exactly — the hooks are free when Impair == nil), and the PR6
+# allocs/op exactly — the hooks are free when Impair == nil), the PR6
 # engine head-to-head (one scale cell per registered multicast engine, with
-# PIM control KB and convergence time as reported metrics). Output is the
-# `go test -json` event stream; baseline numbers are documented in
-# EXPERIMENTS.md. scripts/compare_bench.sh diffs the two most recent
-# BENCH_PR*.json and fails on macro regressions.
+# PIM control KB and convergence time as reported metrics), and the PR7
+# telemetry cells: BenchmarkTelemetryOverhead prices the sampler set on the
+# Figure 1 macro run (/off must match BenchmarkFigure1Macro) and
+# BenchmarkHandleOps prices the metric handles themselves (the nil-registry
+# case must stay 0 allocs/op). Output is the `go test -json` event stream;
+# baseline numbers are documented in EXPERIMENTS.md.
+# scripts/compare_bench.sh diffs the two most recent BENCH_PR*.json and
+# fails on macro regressions.
 # The macro cells get a time-based -benchtime so the multi-second runs
 # (ba-r500 is ~7 s/op) average several iterations per result line: a
 # single iteration swings ±20% with machine state, which is exactly the
 # compare_bench.sh gate threshold.
 bench:
 	$(GO) test -json -run '^$$' -benchmem -benchtime 15s \
-		-bench 'BenchmarkFigure1Macro|BenchmarkScaleTopology|BenchmarkEngineComparison' \
-		./bench > BENCH_PR6.json
+		-bench 'BenchmarkFigure1Macro|BenchmarkScaleTopology|BenchmarkEngineComparison|BenchmarkTelemetryOverhead' \
+		./bench > BENCH_PR7.json
 	$(GO) test -json -run '^$$' -benchmem \
-		-bench 'BenchmarkLinkDelivery|BenchmarkMulticastFanout|BenchmarkImpairmentFanout|BenchmarkFragmentationPath|BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding' \
-		./internal/netem ./internal/sim ./internal/obs . >> BENCH_PR6.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR6.json | sed 's/"Output":"//;s/\\n$$//' || true
+		-bench 'BenchmarkLinkDelivery|BenchmarkMulticastFanout|BenchmarkImpairmentFanout|BenchmarkFragmentationPath|BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding|BenchmarkHandleOps' \
+		./internal/netem ./internal/sim ./internal/obs ./internal/telemetry . >> BENCH_PR7.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR7.json | sed 's/"Output":"//;s/\\n$$//' || true

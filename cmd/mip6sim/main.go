@@ -26,6 +26,8 @@ import (
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/obs"
 	"mip6mcast/internal/scenario"
+	"mip6mcast/internal/sim"
+	"mip6mcast/internal/telemetry"
 	"mip6mcast/internal/topo"
 )
 
@@ -43,6 +45,12 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "record each experiment's first timeline to <dir>/<id>.jsonl and <dir>/<id>.trace.json")
 		topoSpec    = flag.String("topo", "", "procedural topology spec for the scale experiment: family=tree+grid,routers=4+16,mns=8 (keys optional)")
 		dot         = flag.Bool("dot", false, "print the -topo topology (first family, first router count) as Graphviz DOT and exit")
+
+		httpAddr       = flag.String("http", "", "serve a live run surface on this address: /metrics (Prometheus), /progress (NDJSON), /debug/pprof (tag-labeled profiles)")
+		httpLinger     = flag.Duration("http-linger", 0, "keep the -http server up this long after the run completes (interrupt ends it early)")
+		top            = flag.Bool("top", false, "print a post-run per-tag dispatch report (\"sim top\"); implies scheduler instrumentation")
+		telemetryOut   = flag.String("telemetry-out", "", "sample each experiment's first timeline and write <dir>/<id>.telemetry.{csv,jsonl}")
+		telemetryEvery = flag.Duration("telemetry-every", time.Second, "virtual-time sampling period for -telemetry-out")
 	)
 	flag.Parse()
 
@@ -69,21 +77,30 @@ func main() {
 		opt = mip6mcast.FastMLDOptions(*tquery)
 	}
 	opt.Seed = *seed
+	// The live surface and the top report both need per-tag accounting;
+	// the http surface additionally labels dispatch for pprof.
+	if *top || *httpAddr != "" {
+		opt.Instrument = true
+	}
+	opt.ProfileLabels = *httpAddr != ""
+	opt.TelemetryEvery = *telemetryEvery
 	ctx := mip6mcast.ExpContext{Opt: opt, Replicates: *replicates, Workers: *workers}
 
-	// Progress reporting: print each completed timeline cell and keep
-	// aggregate events/sec statistics for the end-of-run summary. The
-	// experiment engine serializes Progress calls, so plain variables are
-	// safe here; curID is only written between experiment runs.
+	// Progress consumers: the stderr printer (-progress), the live server
+	// (-http) and the top aggregator (-top) all tee off the same Progress
+	// callback. The experiment engine serializes Progress calls, so plain
+	// variables are safe here; curID is only written between experiment
+	// runs.
 	var (
 		curID       string
 		cells       int
 		totalEvents uint64
 		totalWall   time.Duration
 		cellRate    metrics.Stats
+		consumers   []func(exp.CellStats)
 	)
 	if *progress {
-		ctx.Progress = func(cs exp.CellStats) {
+		consumers = append(consumers, func(cs exp.CellStats) {
 			cells++
 			totalEvents += cs.Sched.Dispatched
 			totalWall += cs.Wall
@@ -95,6 +112,34 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  %s [%s rep %d]: %d events in %v (%.0f ev/s, hwm %d, vt %v)\n",
 				curID, label, cs.Replicate, cs.Sched.Dispatched, cs.Wall.Round(time.Microsecond),
 				cs.EventsPerSec(), cs.Sched.QueueHighWater, time.Duration(cs.Sched.Virtual))
+		})
+	}
+	var ls *liveServer
+	if *httpAddr != "" {
+		var err error
+		if ls, err = startHTTP(*httpAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		consumers = append(consumers, ls.observe)
+	}
+	var (
+		topAgg   sim.RunStats
+		topCells int
+		topWall  time.Duration
+	)
+	if *top {
+		consumers = append(consumers, func(cs exp.CellStats) {
+			topCells++
+			topWall += cs.Wall
+			topAgg = exp.MergeRunStats(topAgg, cs.Sched)
+		})
+	}
+	if len(consumers) > 0 {
+		ctx.Progress = func(cs exp.CellStats) {
+			for _, fn := range consumers {
+				fn(cs)
+			}
 		}
 	}
 
@@ -104,6 +149,9 @@ func main() {
 	}
 	for _, id := range ids {
 		curID = id
+		if ls != nil {
+			ls.setExperiment(id)
+		}
 		e, ok := mip6mcast.GetExperiment(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s)\n",
@@ -140,15 +188,27 @@ func main() {
 			}
 		}
 
-		// Trace capture: record the experiment's first timeline cell
-		// (point 0, replicate 0 — the master seed's run). The factory may
-		// be called from parallel workers; it only reads.
+		// Trace and telemetry capture: record the experiment's first
+		// timeline cell (point 0, replicate 0 — the master seed's run).
+		// The factories may be called from parallel workers; they only
+		// read.
 		var rec *obs.Recorder
 		if *traceOut != "" {
 			rec = obs.NewRecorder(nil)
 			ctx.Recorder = func(pt, rep int) *obs.Recorder {
 				if pt == 0 && rep == 0 {
 					return rec
+				}
+				return nil
+			}
+		}
+		var reg *telemetry.Registry
+		if *telemetryOut != "" {
+			reg = telemetry.NewRegistry()
+			r := reg
+			ctx.Telemetry = func(pt, rep int) *telemetry.Registry {
+				if pt == 0 && rep == 0 {
+					return r
 				}
 				return nil
 			}
@@ -164,6 +224,12 @@ func main() {
 
 		if rec != nil {
 			if err := writeTraces(*traceOut, id, rec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if reg != nil {
+			if err := writeTelemetry(*telemetryOut, id, reg); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -189,6 +255,45 @@ func main() {
 			cells, totalEvents, totalWall.Round(time.Millisecond),
 			cellRate.Min(), cellRate.Mean(), cellRate.Max())
 	}
+	if *top {
+		renderTop(os.Stdout, topAgg, topCells, topWall)
+	}
+	if ls != nil {
+		ls.finish(*httpLinger)
+	}
+}
+
+// writeTelemetry exports one cell's sampled time series as CSV and JSONL.
+func writeTelemetry(dir, id string, reg *telemetry.Registry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cp := filepath.Join(dir, id+".telemetry.csv")
+	cf, err := os.Create(cp)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteCSV(cf); err != nil {
+		cf.Close()
+		return err
+	}
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	jp := filepath.Join(dir, id+".telemetry.jsonl")
+	jf, err := os.Create(jp)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSONL(jf); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s and %s (%d samples)\n", cp, jp, len(reg.Rows()))
+	return nil
 }
 
 // writeTraces exports one recorded timeline as deterministic JSONL and a

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"mip6mcast/internal/sim"
+)
+
+// renderTop prints the post-run "sim top" report: where the run's CPU time
+// went, by scheduler handler tag, aggregated across every completed
+// timeline cell. It is the text sibling of the /metrics tag series and of
+// a tag-labeled pprof profile: events, handler wall time, wall per event,
+// and each tag's share of total handler time, sorted hottest first.
+func renderTop(w io.Writer, agg sim.RunStats, cells int, wall time.Duration) {
+	fmt.Fprintf(w, "sim top: %d timeline cells, %d events, wall %v",
+		cells, agg.Dispatched, wall.Round(time.Millisecond))
+	if wall > 0 {
+		fmt.Fprintf(w, " (%.0f ev/s overall)", float64(agg.Dispatched)/wall.Seconds())
+	}
+	fmt.Fprintf(w, "\n         queue high-water %d, longest timeline %v, handler wall %v\n",
+		agg.QueueHighWater, time.Duration(agg.Virtual), agg.Wall.Round(time.Microsecond))
+	if len(agg.Tags) == 0 {
+		fmt.Fprintln(w, "         (no per-tag timing: run was not instrumented)")
+		return
+	}
+
+	tags := append([]sim.TagStat(nil), agg.Tags...)
+	sort.Slice(tags, func(i, j int) bool {
+		if tags[i].Wall != tags[j].Wall {
+			return tags[i].Wall > tags[j].Wall
+		}
+		return tags[i].Tag < tags[j].Tag
+	})
+	fmt.Fprintf(w, "%-12s %12s %14s %12s %7s\n", "TAG", "EVENTS", "WALL", "WALL/EVENT", "%WALL")
+	for _, ts := range tags {
+		var per time.Duration
+		if ts.Events > 0 {
+			per = ts.Wall / time.Duration(ts.Events)
+		}
+		share := 0.0
+		if agg.Wall > 0 {
+			share = 100 * float64(ts.Wall) / float64(agg.Wall)
+		}
+		fmt.Fprintf(w, "%-12s %12d %14v %12v %6.1f%%\n",
+			tagName(ts.Tag), ts.Events, ts.Wall.Round(time.Microsecond), per, share)
+	}
+}

@@ -45,8 +45,17 @@ func main() {
 		format       = flag.String("format", "text", "output format: text | jsonl | perfetto")
 		outPath      = flag.String("o", "", "output file (default stdout)")
 		schedStats   = flag.Bool("sched-stats", false, "print scheduler run stats (per-tag timing) to stderr")
+		summary      = flag.String("summary", "", "print a per-track summary of a recorded JSONL trace file and exit (no simulation)")
 	)
 	flag.Parse()
+
+	if *summary != "" {
+		if err := summarize(os.Stdout, *summary); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	approach, ok := map[string]mip6mcast.Approach{
 		"local": mip6mcast.LocalMembership,

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"mip6mcast/internal/obs"
+	"mip6mcast/internal/sim"
+)
+
+// trackSummary aggregates one (node, track) stream of a recorded trace.
+type trackSummary struct {
+	node, track               string
+	states, instants, samples int
+	min, max, last            float64
+}
+
+// summarize prints a per-track digest of a recorded JSONL trace: event
+// counts by category for every track, and min/max/last for counter tracks
+// — enough to inspect a recorded run (including telemetry counter mirrors)
+// without loading it into Perfetto.
+func summarize(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(w, "%s: no events\n", path)
+		return nil
+	}
+
+	byTrack := map[[2]string]*trackSummary{}
+	var order [][2]string
+	var span sim.Time
+	for i := range events {
+		e := &events[i]
+		key := [2]string{e.Node, e.Track}
+		ts := byTrack[key]
+		if ts == nil {
+			ts = &trackSummary{node: e.Node, track: e.Track}
+			byTrack[key] = ts
+			order = append(order, key)
+		}
+		switch e.Cat {
+		case obs.CatState:
+			ts.states++
+		case obs.CatInstant:
+			ts.instants++
+		case obs.CatCounter:
+			if ts.samples == 0 || e.Value < ts.min {
+				ts.min = e.Value
+			}
+			if ts.samples == 0 || e.Value > ts.max {
+				ts.max = e.Value
+			}
+			ts.last = e.Value
+			ts.samples++
+		}
+		if e.At > span {
+			span = e.At
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i][0] != order[j][0] {
+			return order[i][0] < order[j][0]
+		}
+		return order[i][1] < order[j][1]
+	})
+
+	fmt.Fprintf(w, "%s: %d events, %d tracks, %v of virtual time\n\n",
+		path, len(events), len(order), time.Duration(span))
+	fmt.Fprintf(w, "%-10s %-44s %7s %8s %8s  %s\n",
+		"NODE", "TRACK", "STATES", "INSTANTS", "SAMPLES", "COUNTER MIN/MAX/LAST")
+	for _, key := range order {
+		ts := byTrack[key]
+		counters := ""
+		if ts.samples > 0 {
+			counters = fmt.Sprintf("%g / %g / %g", ts.min, ts.max, ts.last)
+		}
+		fmt.Fprintf(w, "%-10s %-44s %7d %8d %8d  %s\n",
+			ts.node, ts.track, ts.states, ts.instants, ts.samples, counters)
+	}
+	return nil
+}

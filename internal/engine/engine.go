@@ -98,6 +98,17 @@ func (s *Stats) Add(o Stats) {
 	s.Retransmits += o.Retransmits
 }
 
+// ControlMessages sums every control-plane message the engine sent: the
+// soft-state machinery (Hellos, Prunes, Joins, Grafts, Graft-Acks,
+// Asserts, State Refreshes, prune echoes) plus the hard-state sync
+// traffic (Acks, Syncs, Retransmits). Data-plane counters are excluded.
+// Telemetry samples it to plot control overhead over time per engine.
+func (s Stats) ControlMessages() uint64 {
+	return s.HellosSent + s.PrunesSent + s.JoinsSent + s.GraftsSent +
+		s.GraftAcksSent + s.AssertsSent + s.StateRefreshSent +
+		s.PruneEchoesSent + s.AcksSent + s.SyncsSent + s.Retransmits
+}
+
 // MulticastEngine is one dense-mode routing protocol instance on one
 // router node. Constructors (registered with the scenario engine
 // registry) must install the engine as the node's multicast forwarder

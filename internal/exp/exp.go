@@ -20,6 +20,7 @@ import (
 	"mip6mcast/internal/obs"
 	"mip6mcast/internal/scenario"
 	"mip6mcast/internal/sim"
+	"mip6mcast/internal/telemetry"
 	"time"
 )
 
@@ -121,6 +122,11 @@ type Context struct {
 	// must be safe for concurrent use, and each returned recorder belongs
 	// to exactly one timeline.
 	Recorder func(point, replicate int) *obs.Recorder
+	// Telemetry, when non-nil, supplies the time-series registry for one
+	// (point, replicate) cell; return nil to skip sampling that cell. The
+	// same concurrency contract as Recorder applies: one registry, one
+	// timeline.
+	Telemetry func(point, replicate int) *telemetry.Registry
 }
 
 func (c Context) replicates() int {

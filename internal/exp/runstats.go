@@ -66,6 +66,9 @@ func (c Context) prepareCell(opt *scenario.Options, pt, rep int, scheds *[]*sim.
 	if c.Recorder != nil {
 		opt.Obs = c.Recorder(pt, rep)
 	}
+	if c.Telemetry != nil {
+		opt.Telemetry = c.Telemetry(pt, rep)
+	}
 	if c.Progress == nil {
 		return
 	}
@@ -86,17 +89,19 @@ func (c Context) reportCell(pt, rep int, label string, wall time.Duration, sched
 	}
 	cs := CellStats{Point: pt, Replicate: rep, Label: label, Engine: c.Opt.EngineName(), Wall: wall, Vals: vals}
 	for _, s := range scheds {
-		cs.Sched = mergeRunStats(cs.Sched, s.RunStats())
+		cs.Sched = MergeRunStats(cs.Sched, s.RunStats())
 	}
 	progressMu.Lock()
 	defer progressMu.Unlock()
 	c.Progress(cs)
 }
 
-// mergeRunStats folds b into a: dispatch counts and handler wall time sum,
+// MergeRunStats folds b into a: dispatch counts and handler wall time sum,
 // queue high-water and virtual time take the max (timelines are
-// independent, not concatenated), per-tag stats merge by tag.
-func mergeRunStats(a, b sim.RunStats) sim.RunStats {
+// independent, not concatenated), per-tag stats merge by tag. Progress
+// consumers (mip6sim's -top report and /metrics endpoint) use it to
+// aggregate CellStats.Sched across a whole run.
+func MergeRunStats(a, b sim.RunStats) sim.RunStats {
 	a.Dispatched += b.Dispatched
 	a.Wall += b.Wall
 	if b.QueueHighWater > a.QueueHighWater {

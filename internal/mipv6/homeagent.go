@@ -170,6 +170,11 @@ func (ha *HomeAgent) Bindings() []*Binding {
 	return out
 }
 
+// BindingCount reports the number of cached bindings without allocating
+// (telemetry samplers call it every tick; Bindings sorts into a fresh
+// slice each call).
+func (ha *HomeAgent) BindingCount() int { return len(ha.bindings) }
+
 // BindingFor returns the cache entry for a home address.
 func (ha *HomeAgent) BindingFor(home ipv6.Addr) (*Binding, bool) {
 	b, ok := ha.bindings[home]

@@ -3,21 +3,30 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
+
+	"mip6mcast/internal/sim"
 )
 
 // jsonlRecord fixes the JSONL field order. encoding/json emits struct
 // fields in declaration order, so output bytes are a pure function of the
 // event stream — the property the cross-worker determinism tests assert.
+//
+// Value is a pointer so that it is emitted if and only if the record is a
+// counter sample: a plain float64 with omitempty silently dropped the field
+// for zero-valued samples, making `{"cat":"counter",...}` with value 0
+// indistinguishable from a missing value on replay (format bump noted in
+// EXPERIMENTS.md). Non-counter records never carry the field.
 type jsonlRecord struct {
-	T      int64   `json:"t_ns"`
-	Seq    uint64  `json:"seq"`
-	Cat    string  `json:"cat"`
-	Node   string  `json:"node"`
-	Track  string  `json:"track"`
-	Name   string  `json:"name,omitempty"`
-	Value  float64 `json:"value,omitempty"`
-	Detail string  `json:"detail,omitempty"`
+	T      int64    `json:"t_ns"`
+	Seq    uint64   `json:"seq"`
+	Cat    string   `json:"cat"`
+	Node   string   `json:"node"`
+	Track  string   `json:"track"`
+	Name   string   `json:"name,omitempty"`
+	Value  *float64 `json:"value,omitempty"`
+	Detail string   `json:"detail,omitempty"`
 }
 
 // WriteJSONL writes events one JSON object per line, in emission order.
@@ -35,8 +44,10 @@ func WriteJSONL(w io.Writer, events []Event) error {
 			Node:   e.Node,
 			Track:  e.Track,
 			Name:   e.Name,
-			Value:  e.Value,
 			Detail: e.Detail,
+		}
+		if e.Cat == CatCounter {
+			rec.Value = &e.Value
 		}
 		if err := enc.Encode(rec); err != nil {
 			return err
@@ -52,4 +63,56 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 		return nil
 	}
 	return WriteJSONL(w, r.events)
+}
+
+// ReadJSONL parses a stream produced by WriteJSONL back into events. Lines
+// that are valid JSON but not event records (e.g. the meta header the
+// chaos/scale trace writers prepend) are skipped; malformed JSON is an
+// error. The inverse mapping is exact for counter records because the
+// value field is emitted unconditionally for them.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %v", line, err)
+		}
+		var cat Cat
+		switch rec.Cat {
+		case "state":
+			cat = CatState
+		case "instant":
+			cat = CatInstant
+		case "counter":
+			cat = CatCounter
+		default:
+			// Not an event record (meta line or foreign JSON): skip.
+			continue
+		}
+		e := Event{
+			At:     sim.Time(rec.T),
+			Seq:    rec.Seq,
+			Cat:    cat,
+			Node:   rec.Node,
+			Track:  rec.Track,
+			Name:   rec.Name,
+			Detail: rec.Detail,
+		}
+		if rec.Value != nil {
+			e.Value = *rec.Value
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -234,3 +234,59 @@ func TestWritePerfettoStructure(t *testing.T) {
 		}
 	}
 }
+
+func TestJSONLCounterValueUnconditional(t *testing.T) {
+	// A zero-valued counter sample must keep its value field; before the
+	// format fix, omitempty dropped it and the record replayed as if the
+	// sample never carried a value. Non-counter records must not grow one.
+	s := sim.NewScheduler(1)
+	r := NewRecorder(s)
+	r.Counter("net", "drops", 0)
+	r.Instant("A", "mld", "query", "")
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if !strings.Contains(lines[0], `"value":0`) {
+		t.Errorf("zero counter sample lost its value field: %s", lines[0])
+	}
+	if strings.Contains(lines[1], `"value"`) {
+		t.Errorf("non-counter record grew a value field: %s", lines[1])
+	}
+}
+
+func TestReadJSONLRoundTrip(t *testing.T) {
+	s := sim.NewScheduler(7)
+	r := NewRecorder(s)
+	fillRecorder(r, s)
+	r.Counter("net", "bytes", 0) // zero value must survive the round trip
+	s.Run()
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A meta header line (as the chaos/scale trace writers prepend) must
+	// be skipped, not treated as an event.
+	in := `{"meta":"chaos","cell":"baseline","seed":1}` + "\n" + buf.String()
+	got, err := ReadJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip returned %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d round-tripped to %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLMalformed(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed line should error")
+	}
+}

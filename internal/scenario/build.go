@@ -84,9 +84,18 @@ func Build(g *topo.Graph, opt Options, populate ...func(*Network)) *Network {
 	if opt.Instrument {
 		f.Sched.Instrument()
 	}
+	if opt.ProfileLabels {
+		f.Sched.LabelProfiles()
+	}
 	if opt.Obs != nil {
 		f.AttachRecorder(opt.Obs)
 		trace.RecordLinks(opt.Obs, f.Net, nil)
+	}
+	// A registry serves exactly one timeline; when one options value
+	// builds several networks (multi-variant experiments), only the first
+	// network gets the samplers.
+	if opt.Telemetry != nil && !opt.Telemetry.Started() {
+		attachTelemetry(f)
 	}
 	if opt.OnNetwork != nil {
 		opt.OnNetwork(f)

@@ -16,6 +16,7 @@ import (
 	"mip6mcast/internal/pimdm"
 	"mip6mcast/internal/routing"
 	"mip6mcast/internal/sim"
+	"mip6mcast/internal/telemetry"
 	"mip6mcast/internal/topo"
 )
 
@@ -58,6 +59,20 @@ type Options struct {
 	// timing (see sim.Scheduler.Instrument). Queue high-water mark and
 	// dispatch counts are tracked regardless.
 	Instrument bool
+	// ProfileLabels enables runtime/pprof goroutine labels during event
+	// dispatch (see sim.Scheduler.LabelProfiles), so CPU profiles taken
+	// through mip6sim's -http pprof endpoint attribute samples to the
+	// scheduler handler tags (pim, mld, mipv6, link, ...).
+	ProfileLabels bool
+	// Telemetry, when non-nil, is populated with the standard sampler set
+	// (scheduler, per-link, per-router engine, home-agent series — see
+	// attachTelemetry) and started on the network's scheduler. One
+	// registry serves one timeline; when one options value builds several
+	// networks, only the first network built gets the registry. If Obs is
+	// also set, scalar samples are mirrored into it as counter tracks.
+	Telemetry *telemetry.Registry
+	// TelemetryEvery is the virtual-time sampling period (default 1s).
+	TelemetryEvery time.Duration
 	// OnNetwork, when non-nil, observes every Network built from these
 	// options right after construction. The experiment engine uses it to
 	// collect per-replicate scheduler run stats.

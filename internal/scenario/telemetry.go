@@ -1,0 +1,111 @@
+package scenario
+
+import (
+	"time"
+
+	"mip6mcast/internal/metrics"
+)
+
+// attachTelemetry registers the standard sampler set on opt.Telemetry and
+// starts sampling on f's scheduler. Metric registration order — and with
+// it the exported column order — is a pure function of the topology
+// (construction order of links and routers), so the series layout is
+// deterministic for a fixed graph.
+//
+// The samplers are read-only probes over live structures; none of them
+// capture engine or home-agent pointers, because CrashRouter/RestartRouter
+// replace those mid-run — everything is re-read through f.Routers each
+// tick.
+func attachTelemetry(f *Network) {
+	reg := f.Opt.Telemetry
+	every := f.Opt.TelemetryEvery
+	if every <= 0 {
+		every = time.Second
+	}
+
+	// Scheduler health: queue depth (sampled + bucketed for a depth
+	// distribution), cumulative dispatch count, and the per-tick dispatch
+	// delta (events per sampling period).
+	s := f.Sched
+	qhist := reg.Histogram("sim/queue_depth_dist", []float64{4, 16, 64, 256, 1024, 4096})
+	reg.Gauge("sim/queue_depth", func() float64 {
+		d := float64(s.Pending())
+		qhist.Observe(d)
+		return d
+	})
+	reg.Gauge("sim/queue_high_water", func() float64 { return float64(s.QueueHighWater()) })
+	reg.Gauge("sim/dispatched_total", func() float64 { return float64(s.Processed()) })
+	var lastDispatched uint64
+	reg.Gauge("sim/events_per_tick", func() float64 {
+		d := s.Processed() - lastDispatched
+		lastDispatched = s.Processed()
+		return float64(d)
+	})
+
+	// Per-link wire accounting: control vs data bytes from the accountant's
+	// class split, impairment drops from the link's own delivery counters.
+	for _, ln := range f.linkOrder {
+		ln := ln
+		l := f.Links[ln]
+		lc := f.Acct.Of(l)
+		reg.Gauge("link "+ln+"/ctrl_bytes", func() float64 {
+			return float64(lc.Bytes[metrics.ClassPIM] + lc.Bytes[metrics.ClassMLD] +
+				lc.Bytes[metrics.ClassNDP] + lc.Bytes[metrics.ClassMIPv6])
+		})
+		reg.Gauge("link "+ln+"/data_bytes", func() float64 {
+			return float64(lc.Bytes[metrics.ClassData] + lc.Bytes[metrics.ClassTunnel])
+		})
+		reg.Gauge("link "+ln+"/drops", func() float64 {
+			return float64(l.LostDeliveries + l.CorruptedDeliveries + l.DownDrops)
+		})
+	}
+
+	// Per-router (S,G) table size, plus engine-wide aggregates sampled once
+	// per tick from one MulticastStats walk. The (S,G) high-water gauge
+	// tracks the largest total ever sampled (the paper's per-router state
+	// concern, Helmy's aggregation metric).
+	for _, rn := range f.routerOrder {
+		rn := rn
+		reg.Gauge("router "+rn+"/sg_entries", func() float64 {
+			return float64(f.Routers[rn].Engine.EntryCount())
+		})
+	}
+	gSG := reg.Gauge("engine/sg_total", nil)
+	gSGHW := reg.Gauge("engine/sg_high_water", nil)
+	gGraft := reg.Gauge("engine/grafts_total", nil)
+	gPrune := reg.Gauge("engine/prunes_total", nil)
+	gCtrl := reg.Gauge("engine/ctrl_msgs_total", nil)
+	gBind := reg.Gauge("mipv6/bindings", nil)
+	gTun := reg.Gauge("mipv6/tunneled_total", nil)
+	var sgHW float64
+	reg.OnSample(func() {
+		var sg float64
+		for _, rn := range f.routerOrder {
+			sg += float64(f.Routers[rn].Engine.EntryCount())
+		}
+		if sg > sgHW {
+			sgHW = sg
+		}
+		gSG.Set(sg)
+		gSGHW.Set(sgHW)
+		st := f.MulticastStats()
+		gGraft.Set(float64(st.GraftsSent))
+		gPrune.Set(float64(st.PrunesSent))
+		gCtrl.Set(float64(st.ControlMessages()))
+
+		var bind, tun float64
+		for _, rn := range f.routerOrder {
+			for _, ha := range f.Routers[rn].HomeAgents() {
+				bind += float64(ha.BindingCount())
+				tun += float64(ha.PacketsTunneled + ha.MulticastTunneled)
+			}
+		}
+		gBind.Set(bind)
+		gTun.Set(tun)
+	})
+
+	if f.obs != nil {
+		reg.Mirror(f.obs, "telemetry")
+	}
+	reg.Start(s, every)
+}

@@ -1,0 +1,149 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/obs"
+	"mip6mcast/internal/telemetry"
+)
+
+// telemetryRun builds a Figure 1 network with the standard sampler set,
+// drives membership + traffic + a crash/restart, and returns the CSV
+// export.
+func telemetryRun(t *testing.T) (*telemetry.Registry, string) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	opt := DefaultOptions()
+	opt.Telemetry = reg
+	opt.TelemetryEvery = time.Second
+	f := NewFigure1(opt)
+	h := f.Hosts["R1"]
+	h.MLD.Join(h.Iface, Group)
+	f.Settle()
+	f.SendLocalMulticast("S", Group, []byte("payload"))
+	f.Run(5 * time.Second)
+	f.CrashRouter("E")
+	f.Run(5 * time.Second)
+	f.RestartRouter("E")
+	f.Run(5 * time.Second)
+	var buf bytes.Buffer
+	if err := reg.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return reg, buf.String()
+}
+
+func TestStandardSamplerSet(t *testing.T) {
+	reg, _ := telemetryRun(t)
+
+	cols := map[string]int{}
+	for i, c := range reg.Columns() {
+		cols[c] = i
+	}
+	// One series per subsystem layer must exist; the per-link and
+	// per-router families follow construction order.
+	for _, want := range []string{
+		"sim/queue_depth", "sim/queue_high_water", "sim/dispatched_total",
+		"sim/events_per_tick", "sim/queue_depth_dist_le_4", "sim/queue_depth_dist_count",
+		"link L1/ctrl_bytes", "link L6/data_bytes", "link L3/drops",
+		"router A/sg_entries", "router E/sg_entries",
+		"engine/sg_total", "engine/sg_high_water", "engine/grafts_total",
+		"engine/prunes_total", "engine/ctrl_msgs_total",
+		"mipv6/bindings", "mipv6/tunneled_total",
+	} {
+		if _, ok := cols[want]; !ok {
+			t.Errorf("missing column %q", want)
+		}
+	}
+
+	rows := reg.Rows()
+	if len(rows) != 25 {
+		t.Fatalf("rows = %d, want 25 (one per virtual second)", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if v := last.V[cols["sim/dispatched_total"]]; v <= 0 {
+		t.Error("dispatched_total never rose")
+	}
+	if v := last.V[cols["link L1/ctrl_bytes"]]; v <= 0 {
+		t.Error("L1 control bytes never rose (MLD/PIM traffic should be accounted)")
+	}
+	if v := last.V[cols["mipv6/bindings"]]; v != 0 {
+		t.Errorf("bindings = %g with every host at home, want 0", v)
+	}
+	// sg_high_water must be the running max of sg_total.
+	var hw float64
+	for _, row := range rows {
+		sg := row.V[cols["engine/sg_total"]]
+		if sg > hw {
+			hw = sg
+		}
+		if got := row.V[cols["engine/sg_high_water"]]; got != hw {
+			t.Fatalf("at %v sg_high_water = %g, want running max %g", row.At, got, hw)
+		}
+	}
+	if hw <= 0 {
+		t.Error("no (S,G) state ever sampled despite multicast traffic")
+	}
+	// Monotone counters stay monotone across the crash/restart window:
+	// the samplers must follow the replaced engine/HA instances, not
+	// captured pointers.
+	prev := -1.0
+	for _, row := range rows {
+		v := row.V[cols["sim/dispatched_total"]]
+		if v < prev {
+			t.Fatalf("dispatched_total regressed: %g after %g", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestTelemetryDeterministicAcrossRuns(t *testing.T) {
+	_, a := telemetryRun(t)
+	_, b := telemetryRun(t)
+	if a != b {
+		t.Error("telemetry CSV differs between identical runs")
+	}
+}
+
+// With both a recorder and a registry attached, scalar samples mirror into
+// the obs stream as counter events on the "telemetry" node — the bridge
+// that puts counter tracks in the Perfetto export.
+func TestTelemetryMirrorsIntoRecorder(t *testing.T) {
+	rec := obs.NewRecorder(nil)
+	reg := telemetry.NewRegistry()
+	opt := DefaultOptions()
+	opt.Obs = rec
+	opt.Telemetry = reg
+	f := NewFigure1(opt)
+	f.Run(3 * time.Second)
+
+	counters := 0
+	for _, e := range rec.Events() {
+		if e.Cat == obs.CatCounter && e.Node == "telemetry" {
+			counters++
+		}
+	}
+	// The only histogram is sim/queue_depth_dist: 6 bounds + count + sum =
+	// 8 columns that must not mirror; every other column is scalar.
+	scalars := len(reg.Columns()) - 8
+	want := 3 * scalars
+	if counters != want {
+		t.Errorf("mirrored %d counter events, want %d (3 ticks x %d scalar columns)", counters, want, scalars)
+	}
+}
+
+// A shared options value that builds two networks must attach the registry
+// only to the first (one registry = one timeline).
+func TestTelemetrySingleTimelineGuard(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	opt := DefaultOptions()
+	opt.Telemetry = reg
+	f1 := NewFigure1(opt)
+	_ = NewFigure1(opt) // must not panic on double Start
+	f1.Run(2 * time.Second)
+	if len(reg.Rows()) != 2 {
+		t.Errorf("rows = %d, want 2 (second network must not double-sample)", len(reg.Rows()))
+	}
+}

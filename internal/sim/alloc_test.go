@@ -31,3 +31,33 @@ func TestStepAllocFree(t *testing.T) {
 		t.Errorf("Schedule+Step allocates %v objects/op with a warm pool; want 0", allocs)
 	}
 }
+
+// TestStepAllocFreeWithLabels pins the pprof-label path: once each tag's
+// label set is cached, switching labels between events must not allocate —
+// LabelProfiles is meant to stay on for whole profiled runs.
+func TestStepAllocFreeWithLabels(t *testing.T) {
+	s := NewScheduler(1)
+	s.LabelProfiles()
+	fn := func() {}
+	schedule := func(tag string) {
+		prev := s.PushTag(tag)
+		s.Schedule(time.Microsecond, fn)
+		s.PopTag(prev)
+	}
+	// Warm the pool and both tags' cached label sets.
+	for i := 0; i < 64; i++ {
+		schedule("a")
+		s.Step()
+		schedule("b")
+		s.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		schedule("a")
+		s.Step()
+		schedule("b")
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("Schedule+Step with label switching allocates %v objects/op; want 0", allocs)
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"runtime/pprof"
 	"sort"
 	"time"
 )
@@ -75,6 +77,41 @@ func (s *Scheduler) Instrument() {
 
 // Instrumented reports whether per-tag timing is enabled.
 func (s *Scheduler) Instrumented() bool { return s.instr != nil }
+
+// LabelProfiles attaches runtime/pprof goroutine labels during event
+// dispatch: while an event runs, the driving goroutine carries the label
+// tag=<handler tag> ("untagged" for events scheduled outside any PushTag
+// bracket), so CPU profiles collected through /debug/pprof attribute
+// samples to pim/mld/mipv6/link work instead of one opaque dispatch loop.
+//
+// The label set for each tag is built once and cached, and labels are
+// re-applied only when consecutive events carry different tags, so the
+// steady-state dispatch path stays allocation-free. Calling LabelProfiles
+// again is a no-op.
+func (s *Scheduler) LabelProfiles() {
+	if s.labelCtx == nil {
+		s.labelCtx = make(map[string]context.Context)
+	}
+}
+
+// ProfileLabeled reports whether dispatch-time pprof labeling is enabled.
+func (s *Scheduler) ProfileLabeled() bool { return s.labelCtx != nil }
+
+// applyLabel switches the goroutine's pprof labels to tag's cached set,
+// building it on first use.
+func (s *Scheduler) applyLabel(tag string) {
+	ctx, ok := s.labelCtx[tag]
+	if !ok {
+		name := tag
+		if name == "" {
+			name = "untagged"
+		}
+		ctx = pprof.WithLabels(context.Background(), pprof.Labels("tag", name))
+		s.labelCtx[tag] = ctx
+	}
+	pprof.SetGoroutineLabels(ctx)
+	s.curLabel = tag
+}
 
 // QueueHighWater returns the maximum event-queue length observed so far.
 func (s *Scheduler) QueueHighWater() int { return s.hwm }

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
 	"testing"
 	"time"
 )
@@ -159,5 +162,140 @@ func BenchmarkStepInstrumented(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.At(s.Now(), fn)
 		s.Step()
+	}
+}
+
+// A timer re-armed from within its own expiry handler keeps reporting
+// under the tag it was originally scheduled with: the handler runs with
+// its event's tag active, so the Reset's new event inherits it. The same
+// mechanism keeps a Ticker on its original tag across every rearm.
+func TestRescheduledTimerInheritsTag(t *testing.T) {
+	s := NewScheduler(1)
+	s.Instrument()
+
+	fires := 0
+	var tm *Timer
+	prev := s.PushTag("pim")
+	tm = NewTimer(s, func() {
+		fires++
+		if fires < 3 {
+			tm.Reset(time.Second) // no PushTag here: must inherit "pim"
+		}
+	})
+	tm.Reset(time.Second)
+	s.PopTag(prev)
+
+	prev = s.PushTag("mld")
+	tk := NewTicker(s, time.Second, 0, func() {})
+	s.PopTag(prev)
+
+	s.RunFor(5 * time.Second)
+	tk.Stop()
+
+	got := map[string]uint64{}
+	for _, ts := range s.RunStats().Tags {
+		got[ts.Tag] = ts.Events
+	}
+	if got["pim"] != 3 {
+		t.Errorf("timer fired %d events under \"pim\", want 3 (rearms must inherit)", got["pim"])
+	}
+	if got["mld"] != 5 {
+		t.Errorf("ticker fired %d events under \"mld\", want 5 (rearms must inherit)", got["mld"])
+	}
+}
+
+// PushTag nests to arbitrary depth, restoring the enclosing tag at each
+// PopTag, including from inside running handlers.
+func TestPushPopTagDeepNesting(t *testing.T) {
+	s := NewScheduler(1)
+	s.Instrument()
+
+	p1 := s.PushTag("l1")
+	p2 := s.PushTag("l2")
+	p3 := s.PushTag("l3")
+	s.Schedule(time.Second, func() {})
+	s.PopTag(p3)
+	s.Schedule(time.Second, func() {})
+	s.PopTag(p2)
+	s.Schedule(time.Second, func() {})
+	s.PopTag(p1)
+	if s.curTag != "" {
+		t.Errorf("tag after unwinding = %q, want empty", s.curTag)
+	}
+	s.Schedule(time.Second, func() {
+		// Inside a handler the event's own tag is active; a nested bracket
+		// must restore it, not the empty tag.
+		p := s.PushTag("inner")
+		if p != "" {
+			t.Errorf("prev inside untagged handler = %q", p)
+		}
+		s.PopTag(p)
+	})
+	s.Run()
+
+	got := map[string]uint64{}
+	for _, ts := range s.RunStats().Tags {
+		got[ts.Tag] = ts.Events
+	}
+	for tag, want := range map[string]uint64{"l1": 1, "l2": 1, "l3": 1, "": 1} {
+		if got[tag] != want {
+			t.Errorf("tag %q events = %d, want %d", tag, got[tag], want)
+		}
+	}
+}
+
+// The high-water mark is monotonic: draining never lowers it, and it only
+// rises when a later burst exceeds every earlier one.
+func TestQueueHighWaterMonotonic(t *testing.T) {
+	s := NewScheduler(1)
+	fill := func(n int) {
+		for i := 0; i < n; i++ {
+			s.Schedule(time.Duration(i)*time.Millisecond, func() {})
+		}
+		s.Run()
+	}
+	fill(7)
+	if got := s.QueueHighWater(); got != 7 {
+		t.Fatalf("hwm after burst of 7 = %d", got)
+	}
+	fill(3) // smaller burst: mark must hold
+	if got := s.QueueHighWater(); got != 7 {
+		t.Errorf("hwm lowered to %d by a smaller burst", got)
+	}
+	fill(9) // larger burst: mark must rise
+	if got := s.QueueHighWater(); got != 9 {
+		t.Errorf("hwm after burst of 9 = %d", got)
+	}
+}
+
+// With LabelProfiles on, the dispatch goroutine carries tag=<handler tag>
+// pprof labels while a handler runs — visible in a labeled goroutine
+// profile taken from inside the handler.
+func TestLabelProfilesAppliedDuringDispatch(t *testing.T) {
+	s := NewScheduler(1)
+	s.LabelProfiles()
+	if !s.ProfileLabeled() {
+		t.Fatal("ProfileLabeled false after LabelProfiles")
+	}
+
+	grab := func() string {
+		var buf bytes.Buffer
+		if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	var tagged, untagged string
+	prev := s.PushTag("pim")
+	s.Schedule(time.Second, func() { tagged = grab() })
+	s.PopTag(prev)
+	s.Schedule(2*time.Second, func() { untagged = grab() })
+	s.Run()
+
+	if !strings.Contains(tagged, `"tag":"pim"`) {
+		t.Errorf("goroutine profile inside tagged handler lacks tag=pim label:\n%s", tagged)
+	}
+	if !strings.Contains(untagged, `"tag":"untagged"`) {
+		t.Errorf("goroutine profile inside untagged handler lacks tag=untagged label:\n%s", untagged)
 	}
 }

@@ -12,6 +12,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -119,6 +120,12 @@ type Scheduler struct {
 	hwm int
 	// instr, when non-nil, accumulates per-tag wall-clock dispatch timing.
 	instr *instr
+	// labelCtx, when non-nil, enables runtime/pprof goroutine labels during
+	// dispatch (see LabelProfiles): one cached label set per handler tag,
+	// applied only when consecutive events carry different tags.
+	labelCtx map[string]context.Context
+	// curLabel is the tag whose label set is currently applied.
+	curLabel string
 }
 
 // NewScheduler returns a scheduler whose random source is seeded with seed.
@@ -206,6 +213,9 @@ func (s *Scheduler) Step() bool {
 		// Recycle before running: fn may reschedule and reuse this slot,
 		// which is fine — the handle generations already diverge.
 		s.recycle(e)
+		if s.labelCtx != nil && tag != s.curLabel {
+			s.applyLabel(tag)
+		}
 		if s.instr != nil {
 			start := time.Now()
 			fn()

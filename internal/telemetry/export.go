@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Export formats. Both are deterministic: column order is the registration
+// order, timestamps are integer nanoseconds of virtual time, and floats
+// render via strconv/encoding-json shortest-form formatting — a pure
+// function of the sampled values, so a fixed seed yields byte-identical
+// output at any -workers count (the determinism gate in scripts/check.sh
+// diffs these files across worker counts).
+
+// WriteCSV writes the series as a CSV table: a header row of t_ns plus the
+// column names, then one row per sample tick. Nil-safe (writes nothing).
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("t_ns")
+	for _, c := range r.Columns() {
+		bw.WriteByte(',')
+		bw.WriteString(c)
+	}
+	bw.WriteByte('\n')
+	for i := range r.rows {
+		row := &r.rows[i]
+		bw.WriteString(strconv.FormatInt(int64(row.At), 10))
+		for _, v := range row.V {
+			bw.WriteByte(',')
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// jsonlMeta is the first line of the JSONL export: the column names and the
+// sampling period, so readers can interpret the rows without the registry.
+type jsonlMeta struct {
+	Meta    string   `json:"meta"`
+	Cols    []string `json:"cols"`
+	EveryNs int64    `json:"every_ns"`
+}
+
+// jsonlRow fixes the per-tick field order.
+type jsonlRow struct {
+	T int64     `json:"t_ns"`
+	V []float64 `json:"v"`
+}
+
+// WriteJSONL writes the series as JSONL: one meta object
+// ({"meta":"telemetry","cols":[...],"every_ns":N}) followed by one
+// {"t_ns":...,"v":[...]} object per sample tick. Nil-safe (writes nothing).
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlMeta{Meta: "telemetry", Cols: r.Columns(), EveryNs: int64(r.every)}); err != nil {
+		return err
+	}
+	for i := range r.rows {
+		if err := enc.Encode(jsonlRow{T: int64(r.rows[i].At), V: r.rows[i].V}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -16,16 +16,20 @@ go test -race ./...
 go test -run 'AllocFree|AllocBudget' ./internal/sim ./internal/netem ./internal/ipv6
 
 # Chaos determinism smoke: the full fault-injection matrix at a fixed seed
-# must produce byte-identical per-timeline JSONL traces whether the sweep
-# runs serially or across 8 workers — under the race detector, since the
-# worker fan-out is exactly what could perturb it. Any diff means a
-# nondeterministic impairment draw or a cross-timeline data race.
+# must produce byte-identical per-timeline JSONL traces AND a byte-identical
+# sampled telemetry series (-telemetry-out writes the master-seed cell's
+# series into the same directory, so the recursive diff covers both)
+# whether the sweep runs serially or across 8 workers — under the race
+# detector, since the worker fan-out is exactly what could perturb it. Any
+# diff means a nondeterministic impairment draw or a cross-timeline data
+# race.
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 go run -race ./cmd/mip6sim -experiment chaos -replicates 1 -seed 7 \
-    -workers 1 -trace-out "$tmp/w1" > "$tmp/w1.out"
+    -workers 1 -trace-out "$tmp/w1" -telemetry-out "$tmp/w1" > "$tmp/w1.out"
 go run -race ./cmd/mip6sim -experiment chaos -replicates 1 -seed 7 \
-    -workers 8 -trace-out "$tmp/w8" > "$tmp/w8.out"
+    -workers 8 -trace-out "$tmp/w8" -telemetry-out "$tmp/w8" > "$tmp/w8.out"
+test -s "$tmp/w1/chaos.telemetry.csv" # sampling actually ran
 diff -r "$tmp/w1" "$tmp/w8"
 diff "$tmp/w1.out" "$tmp/w8.out"
 # Every matrix cell must report zero invariant violations (column 2 of the
@@ -42,9 +46,10 @@ fi
 # zero-violation contract must hold with engine=hpimdm (engine-tagged trace
 # files, so this never collides with the default smoke above).
 go run -race ./cmd/mip6sim -experiment chaos -topo engine=hpimdm -replicates 1 -seed 7 \
-    -workers 1 -trace-out "$tmp/h1" > "$tmp/h1.out"
+    -workers 1 -trace-out "$tmp/h1" -telemetry-out "$tmp/h1" > "$tmp/h1.out"
 go run -race ./cmd/mip6sim -experiment chaos -topo engine=hpimdm -replicates 1 -seed 7 \
-    -workers 8 -trace-out "$tmp/h8" > "$tmp/h8.out"
+    -workers 8 -trace-out "$tmp/h8" -telemetry-out "$tmp/h8" > "$tmp/h8.out"
+test -s "$tmp/h1/chaos.telemetry.csv"
 diff -r "$tmp/h1" "$tmp/h8"
 diff "$tmp/h1.out" "$tmp/h8.out"
 if awk 'NR > 2 && NF > 1 && $2 != "0" { bad = 1 } END { exit bad }' "$tmp/h1.out"; then
@@ -57,16 +62,19 @@ fi
 
 # Scale determinism smoke: the fig1, tree and grid cells of the
 # procedural-topology sweep under BOTH engines, same contract as the chaos
-# smoke — fixed seed, byte-identical per-timeline JSONL traces at workers
-# 1 vs 8 under the race detector, and a zero violations column (field 2 of
-# each table row).
+# smoke — fixed seed, byte-identical per-timeline JSONL traces and
+# telemetry series at workers 1 vs 8 under the race detector, and a zero
+# violations column (field 2 of each table row).
 for eng in pimdm hpimdm; do
     go run -race ./cmd/mip6sim -experiment scale \
         -topo family=fig1+tree+grid,routers=4,mns=8,engine=$eng \
-        -replicates 1 -seed 7 -workers 1 -trace-out "$tmp/s1-$eng" > "$tmp/s1-$eng.out"
+        -replicates 1 -seed 7 -workers 1 -trace-out "$tmp/s1-$eng" \
+        -telemetry-out "$tmp/s1-$eng" > "$tmp/s1-$eng.out"
     go run -race ./cmd/mip6sim -experiment scale \
         -topo family=fig1+tree+grid,routers=4,mns=8,engine=$eng \
-        -replicates 1 -seed 7 -workers 8 -trace-out "$tmp/s8-$eng" > "$tmp/s8-$eng.out"
+        -replicates 1 -seed 7 -workers 8 -trace-out "$tmp/s8-$eng" \
+        -telemetry-out "$tmp/s8-$eng" > "$tmp/s8-$eng.out"
+    test -s "$tmp/s1-$eng/scale.telemetry.csv"
     diff -r "$tmp/s1-$eng" "$tmp/s8-$eng"
     diff "$tmp/s1-$eng.out" "$tmp/s8-$eng.out"
     if awk 'NR > 2 && NF > 1 && $2 != "0" { bad = 1 } END { exit bad }' "$tmp/s1-$eng.out"; then
@@ -77,3 +85,53 @@ for eng in pimdm hpimdm; do
         exit 1
     fi
 done
+
+# Live-surface smoke: run one sweep experiment with -http on an ephemeral
+# port, scrape /metrics (must be non-empty and Prometheus-shaped, with the
+# per-tag series a completed cell contributes), then SIGTERM and require a
+# clean exit — startup, the scrape path, and the graceful shutdown path
+# (signal cuts the linger, server drains, exit 0). A sweep experiment is
+# required: only sweep cells report Progress, which feeds /metrics.
+go build -o "$tmp/mip6sim" ./cmd/mip6sim
+"$tmp/mip6sim" -experiment scale -topo family=fig1,routers=4,mns=4 \
+    -replicates 1 -http 127.0.0.1:0 -http-linger 60s \
+    > "$tmp/http.out" 2> "$tmp/http.err" &
+httppid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's|^serving http://\([^/]*\)/.*|\1|p' "$tmp/http.err")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "http smoke: server never announced its address" >&2
+    cat "$tmp/http.err" >&2
+    kill "$httppid" 2>/dev/null || true
+    exit 1
+fi
+# Retry until the scrape shows a completed cell's per-tag series: the
+# server is up before the first timeline finishes, so an early scrape is
+# valid but sparse.
+scraped=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/metrics" > "$tmp/metrics.txt" 2>/dev/null &&
+        grep -q '^mip6sim_events_dispatched_total ' "$tmp/metrics.txt" &&
+        grep -q '^mip6sim_tag_wall_seconds_total{tag=' "$tmp/metrics.txt"; then
+        scraped=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$scraped" ]; then
+    echo "http smoke: /metrics never served the expected series" >&2
+    cat "$tmp/metrics.txt" >&2 2>/dev/null || true
+    kill "$httppid" 2>/dev/null || true
+    exit 1
+fi
+kill -TERM "$httppid"
+if wait "$httppid"; then
+    echo "http smoke: /metrics scraped, clean shutdown on SIGTERM"
+else
+    echo "http smoke: mip6sim exited non-zero after SIGTERM" >&2
+    exit 1
+fi
