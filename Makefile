@@ -43,9 +43,9 @@ check: build vet race
 # compare_bench.sh gate threshold.
 bench:
 	$(GO) test -json -run '^$$' -benchmem -benchtime 15s \
-		-bench 'BenchmarkFigure1Macro|BenchmarkScaleTopology|BenchmarkEngineComparison|BenchmarkTelemetryOverhead' \
-		./bench > BENCH_PR7.json
+		-bench 'BenchmarkFigure1Macro|BenchmarkScaleTopology|BenchmarkShardedTimeline|BenchmarkEngineComparison|BenchmarkTelemetryOverhead' \
+		./bench > BENCH_PR8.json
 	$(GO) test -json -run '^$$' -benchmem \
 		-bench 'BenchmarkLinkDelivery|BenchmarkMulticastFanout|BenchmarkImpairmentFanout|BenchmarkFragmentationPath|BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding|BenchmarkHandleOps' \
-		./internal/netem ./internal/sim ./internal/obs ./internal/telemetry . >> BENCH_PR7.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR7.json | sed 's/"Output":"//;s/\\n$$//' || true
+		./internal/netem ./internal/sim ./internal/obs ./internal/telemetry . >> BENCH_PR8.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR8.json | sed 's/"Output":"//;s/\\n$$//' || true

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	mip6mcast "mip6mcast"
+	"mip6mcast/internal/exp"
+)
+
+// BenchmarkShardedTimeline measures the parallel event kernel against the
+// sequential baseline on the same cells: the ba-r500 headline capacity
+// cell and a 2000-router / 10000-MN cell that only became tractable with
+// sharding. shards=1 is the sequential path (no kernel); shards=4/8
+// partition the router graph and run regions in parallel with a 2 ms
+// core-link lookahead. CoreLinkDelay is set at every shard count so the
+// timelines simulate the same network and events/sec compares
+// apples-to-apples. Every iteration asserts zero invariant violations,
+// so the 2000-router cell doubles as the large-scale correctness gate.
+func BenchmarkShardedTimeline(b *testing.B) {
+	cases := []struct {
+		routers, mns int
+	}{
+		{500, 2000},
+		{2000, 10000},
+	}
+	for _, tc := range cases {
+		for _, shards := range []int{1, 4, 8} {
+			tc, shards := tc, shards
+			b.Run(fmt.Sprintf("ba-r%d-mn%d/shards-%d", tc.routers, tc.mns, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				var events uint64
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					opt := mip6mcast.DefaultOptions()
+					opt.Seed = int64(i + 1)
+					opt.Shards = shards
+					opt.CoreLinkDelay = 2 * time.Millisecond
+					ctx := mip6mcast.ExpContext{
+						Opt: opt, Replicates: 1, Workers: 1,
+						Progress: func(cs exp.CellStats) { events += cs.Sched.Dispatched },
+					}
+					res, err := mip6mcast.RunExperiment("scale", ctx, mip6mcast.ExpParams{
+						"families": "ba",
+						"routers":  []int{tc.routers},
+						"mns":      tc.mns,
+						"horizon":  30,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if v := res.Stats[0].Mean("violations"); v != 0 {
+						b.Fatalf("cell reported %v invariant violations", v)
+					}
+				}
+				wall := time.Since(start).Seconds()
+				if wall > 0 {
+					b.ReportMetric(float64(events)/wall, "events/sec")
+				}
+			})
+		}
+	}
+}

@@ -107,6 +107,15 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 	if err != nil {
 		panic("scale: " + err.Error())
 	}
+	// When the build will shard, confine churn to partition regions:
+	// PartitionGraph is deterministic on (graph, shards, groups), so this
+	// is the exact region assignment scenario.Build computes again.
+	var linkRegion []int
+	if opt.Shards > 1 {
+		if part := topo.PartitionGraph(g, opt.Shards, opt.MobilityGroups); part.N > 1 {
+			linkRegion = part.LinkRegion(g)
+		}
+	}
 	w, err := topo.GenWorkload(g, topo.WorkloadSpec{
 		MNs:        cell.mns,
 		Sources:    cfg.sources,
@@ -116,7 +125,8 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 		Horizon:    scaleSettle + cfg.horizon,
 		// The workload owns its RNG; xor keeps it decoupled from the
 		// graph generator, which consumes the raw seed.
-		Seed: opt.Seed ^ 0x5ca1ab1e,
+		Seed:       opt.Seed ^ 0x5ca1ab1e,
+		LinkRegion: linkRegion,
 	})
 	if err != nil {
 		panic("scale: " + err.Error())
@@ -166,6 +176,11 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 	// closes it into the reservoir. O(1) state per member, any flow counts.
 	joinQ := metrics.NewReservoir(512, opt.Seed^0x7e5e4701)
 	pending := make([]sim.Time, len(w.MNs))
+	// Delay samples accumulate per region — each slice is appended only by
+	// its own region's handlers, so parallel windows share nothing — and
+	// feed the reservoir in (region, emission) order after the run. On the
+	// sequential path that is the exact streaming Add sequence.
+	joinSamples := make([][]float64, len(f.Scheds()))
 	for i, h := range mnHosts {
 		if !w.MNs[i].Member {
 			pending[i] = -1
@@ -173,12 +188,15 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 		}
 		pending[i] = 0
 		idx := i
+		hsched := h.Node.Sched()
+		region := hsched.Region()
 		h.Node.BindUDP(scenario.WorkloadPort, func(rx netem.RxPacket, u *ipv6.UDP) {
 			if _, ok := scenario.ParseBeacon(u.Payload); !ok {
 				return
 			}
 			if at := pending[idx]; at >= 0 {
-				joinQ.Add(time.Duration(f.Sched.Now() - at).Seconds())
+				joinSamples[region] = append(joinSamples[region],
+					time.Duration(hsched.Now()-at).Seconds())
 				pending[idx] = -1
 			}
 		})
@@ -197,7 +215,10 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 			membersOn[mn.Home]++
 		}
 	}
-	var wasteBytes uint64
+	// Waste counts per link: a tap only ever runs in its own link's region,
+	// and LANs are never split, so per-link cells are region-private; the
+	// census arrays it reads are written only at barriers (the move loop).
+	wasteByLink := make([]uint64, len(g.Links))
 	var leaveW metrics.Welford
 	for li := range g.Links {
 		departedAt[li] = -1
@@ -205,13 +226,15 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 			continue
 		}
 		li := li
-		f.Links[g.Links[li].Name].AddTap(func(ev netem.TxEvent) {
+		l := f.Links[g.Links[li].Name]
+		lsched := l.Sched()
+		l.AddTap(func(ev netem.TxEvent) {
 			if ev.Pkt.Hdr.Dst != Group {
 				return
 			}
-			lastData[li] = f.Sched.Now()
+			lastData[li] = lsched.Now()
 			if membersOn[li] == 0 {
-				wasteBytes += uint64(len(ev.Frame))
+				wasteByLink[li] += uint64(len(ev.Frame))
 			}
 		})
 	}
@@ -231,13 +254,15 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 	// the degenerate at-home case under either approach).
 	for s, h := range srcHosts {
 		svc := core.NewService(h.MN, h.MLD, cfg.approach, opt.MLD)
-		scenario.NewCBR(f.Sched, uint16(s+1), scaleCBRInterval, scaleCBRSize,
+		// The flow's ticker lives on the source's own region scheduler.
+		scenario.NewCBR(h.Node.Sched(), uint16(s+1), scaleCBRInterval, scaleCBRSize,
 			func(payload []byte) { svc.Send(Group, payload) })
 	}
 
-	// 1 s sampler for the (S,G) state high-water mark across all routers.
+	// 1 s sampler for the (S,G) state high-water mark across all routers —
+	// barrier-driven under shards, where reading every region is safe.
 	sgHi := 0
-	sim.NewTicker(f.Sched, time.Second, 0, func() {
+	f.SamplePeriodic(time.Second, func() {
 		total := 0
 		for _, rn := range f.RouterOrder() {
 			total += f.Routers[rn].Engine.EntryCount()
@@ -300,6 +325,15 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 	f.RunUntil(sim.Time(scaleSettle + cfg.horizon + scaleQuiesce))
 	for li := range g.Links {
 		closeDeparture(li)
+	}
+	var wasteBytes uint64
+	for _, b := range wasteByLink {
+		wasteBytes += b
+	}
+	for _, rs := range joinSamples {
+		for _, v := range rs {
+			joinQ.Add(v)
+		}
 	}
 
 	// Convergence invariants. The full Converged contract (link demand ==

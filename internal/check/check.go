@@ -15,6 +15,7 @@ import (
 
 	"mip6mcast/internal/engine"
 	"mip6mcast/internal/ipv6"
+	"mip6mcast/internal/netem"
 	"mip6mcast/internal/obs"
 	"mip6mcast/internal/scenario"
 	"mip6mcast/internal/sim"
@@ -157,12 +158,21 @@ func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
 		if feed == "" {
 			continue
 		}
-		for _, ifc := range f.Links[feed].Ifaces {
-			nb := ifc.Node
-			if !nb.IsRouter || nb.Name == dn || rpf[nb.Name] == feed {
-				continue
+		// Span the link's whole broadcast domain: a cross-region link is
+		// split into paired halves, and the forwarding neighbor may sit on
+		// the peer half (sharded builds; Peer is nil otherwise).
+		sides := [][]*netem.Interface{f.Links[feed].Ifaces}
+		if p := f.Links[feed].Peer(); p != nil {
+			sides = append(sides, p.Ifaces)
+		}
+		for _, side := range sides {
+			for _, ifc := range side {
+				nb := ifc.Node
+				if !nb.IsRouter || nb.Name == dn || rpf[nb.Name] == feed {
+					continue
+				}
+				markNeed(nb.Name)
 			}
-			markNeed(nb.Name)
 		}
 	}
 

@@ -271,7 +271,7 @@ func (svc *Service) handleICMP(rx netem.RxPacket) {
 			t = sim.NewTimer(s, func() { svc.sendTunneledReport(g) })
 			svc.delay[g] = t
 		}
-		d := time.Duration(s.Rand().Int63n(int64(maxDelay)))
+		d := s.Jitter("mld", maxDelay)
 		if t.Running() && t.Remaining() <= d {
 			continue
 		}

@@ -74,7 +74,7 @@ func (c Context) prepareCell(opt *scenario.Options, pt, rep int, scheds *[]*sim.
 	}
 	user := opt.OnNetwork
 	opt.OnNetwork = func(f *scenario.Network) {
-		*scheds = append(*scheds, f.Sched)
+		*scheds = append(*scheds, f.Scheds()...)
 		if user != nil {
 			user(f)
 		}

@@ -202,7 +202,7 @@ func New(node *netem.Node, cfg Config, routing engine.UnicastRouting) *Engine {
 	// A fresh incarnation draws a fresh non-zero Generation ID; neighbors
 	// detect the change and resynchronize their hard state.
 	for e.genID == 0 {
-		e.genID = s.Rand().Uint32()
+		e.genID = s.RandFor("hpimdm").Uint32()
 	}
 	prev := s.PushTag("hpim")
 	for _, ifc := range node.Ifaces {
@@ -313,7 +313,7 @@ func (e *Engine) startIface(ifc *netem.Interface) {
 	e.hellos[ifc] = sim.NewTicker(s, e.Config.HelloInterval, e.Config.HelloInterval/10, func() {
 		e.sendHello(ifc)
 	})
-	s.Schedule(time.Duration(s.Rand().Int63n(int64(100*time.Millisecond))), func() { e.sendHello(ifc) })
+	s.Schedule(s.Jitter("pimdm-hello", 100*time.Millisecond), func() { e.sendHello(ifc) })
 }
 
 // --- message transmission -----------------------------------------------------
@@ -786,7 +786,7 @@ func (e *Engine) ForwardMulticast(rx netem.RxPacket) {
 		// the pushing peer; on a LAN run the Assert election.
 		e.Stats.RPFFailures++
 		if ds := ent.downstream[rx.Iface]; ds != nil {
-			if e.NeighborCount(rx.Iface) == 1 && len(rx.Iface.Link.Ifaces) == 2 {
+			if e.NeighborCount(rx.Iface) == 1 && rx.Iface.Link.AttachedIfaces() == 2 {
 				ent.maybeSendNonRPFNoInterest(rx.Iface, ds)
 			} else if ent.shouldForward(rx.Iface, ds) {
 				ent.maybeSendAssert(rx.Iface)

@@ -248,7 +248,7 @@ func (h *Host) onQuery(ifc *netem.Interface, q *icmpv6.MLD) {
 		if maxDelay <= 0 {
 			maxDelay = time.Millisecond
 		}
-		d := time.Duration(h.Node.Sched().Rand().Int63n(int64(maxDelay)))
+		d := h.Node.Sched().Jitter("mld", maxDelay)
 		// Only shorten an already-pending timer (§4 paragraph 10).
 		if m.delay.Running() && m.delay.Remaining() <= d {
 			continue

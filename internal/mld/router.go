@@ -114,7 +114,7 @@ func (r *Router) startIface(ifc *netem.Interface) {
 	st.queryTicker = sim.NewTicker(s, r.Config.StartupQueryInterval, 0, func() { st.periodicQuery() })
 	// First query right away (with a small deterministic-random jitter so
 	// co-started routers don't collide artificially).
-	s.Schedule(time.Duration(s.Rand().Int63n(int64(100*time.Millisecond))), func() { st.periodicQuery() })
+	s.Schedule(s.Jitter("mld", 100*time.Millisecond), func() { st.periodicQuery() })
 	s.PopTag(prev)
 }
 

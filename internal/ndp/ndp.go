@@ -94,7 +94,7 @@ func (r *Router) startIface(ifc *netem.Interface) {
 		r.advertise(ifc)
 	})
 	// First unsolicited advertisement goes out promptly (small jitter).
-	s.Schedule(time.Duration(s.Rand().Int63n(int64(r.Config.SolicitedDelayMax)+1)), func() {
+	s.Schedule(s.Jitter("ndp", r.Config.SolicitedDelayMax+1), func() {
 		r.advertise(ifc)
 	})
 }
@@ -136,8 +136,7 @@ func (r *Router) handleICMP(rx netem.RxPacket) {
 	}
 	ifc := rx.Iface
 	s := r.Node.Sched()
-	delay := time.Duration(s.Rand().Int63n(int64(r.Config.SolicitedDelayMax) + 1))
-	s.Schedule(delay, func() { r.advertise(ifc) })
+	s.Schedule(s.Jitter("ndp", r.Config.SolicitedDelayMax+1), func() { r.advertise(ifc) })
 }
 
 // PrefixEvent reports an address (re)configuration on a host interface.

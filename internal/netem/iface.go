@@ -164,9 +164,10 @@ func (ifc *Interface) SendVia(pkt *ipv6.Packet, nextHop ipv6.Addr) error {
 // discovery).
 func (ifc *Interface) transmitPacket(pkt *ipv6.Packet, l2dst *Interface) error {
 	net := ifc.Node.Net
-	frame, err := pkt.EncodeAppend(net.getFrameBuf())
+	region := ifc.Node.Sched().Region()
+	frame, err := pkt.EncodeAppend(net.getFrameBuf(region))
 	if err != nil {
-		net.putFrameBuf(frame)
+		net.putFrameBuf(region, frame)
 		return fmt.Errorf("netem: %s: %w", ifc, err)
 	}
 	mtu := ifc.Link.MTU
@@ -179,7 +180,7 @@ func (ifc *Interface) transmitPacket(pkt *ipv6.Packet, l2dst *Interface) error {
 	}
 	if mtu <= 0 || len(frame) <= mtu {
 		if ifc.Link.transmit(ifc, frame, l2dst) {
-			net.putFrameBuf(frame)
+			net.putFrameBuf(region, frame)
 		}
 		return nil
 	}
@@ -190,20 +191,20 @@ func (ifc *Interface) transmitPacket(pkt *ipv6.Packet, l2dst *Interface) error {
 		ifc.Node.sendPacketTooBig(pkt, frame, mtu)
 		return nil
 	}
-	net.putFrameBuf(frame)
+	net.putFrameBuf(region, frame)
 	frags, err := ipv6.Fragment(pkt, mtu, ifc.Node.nextFragID())
 	if err != nil {
 		ifc.Node.drop("too-big")
 		return nil
 	}
 	for _, f := range frags {
-		fb, err := f.EncodeAppend(net.getFrameBuf())
+		fb, err := f.EncodeAppend(net.getFrameBuf(region))
 		if err != nil {
-			net.putFrameBuf(fb)
+			net.putFrameBuf(region, fb)
 			return fmt.Errorf("netem: %s: %w", ifc, err)
 		}
 		if ifc.Link.transmit(ifc, fb, l2dst) {
-			net.putFrameBuf(fb)
+			net.putFrameBuf(region, fb)
 		}
 	}
 	return nil

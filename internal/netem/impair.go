@@ -85,20 +85,20 @@ func (imp *Impairment) reorderDelay(l *Link) time.Duration {
 // impairedDeliver schedules one (possibly jittered, reordered, corrupted
 // and/or duplicated) delivery. The caller has already charged Delivered for
 // the primary copy; duplicates are charged here. Loss was already decided.
-func (l *Link) impairedDeliver(ifc *Interface, arrive sim.Time, frameLen uint64, pkt *ipv6.Packet, frame []byte, decErr error, unicast bool) {
-	s := l.net.Sched
+func (l *Link) impairedDeliver(ifc *Interface, home *Link, arrive sim.Time, frameLen uint64, pkt *ipv6.Packet, frame []byte, decErr error, unicast bool) {
+	s := l.scheduler()
 	imp := l.Impair
 
 	at := arrive
 	if imp.Jitter > 0 {
-		at = at.Add(time.Duration(s.Rand().Int63n(int64(imp.Jitter))))
+		at = at.Add(s.Jitter("netem-impair", imp.Jitter))
 	}
-	if imp.ReorderProb > 0 && s.Rand().Float64() < imp.ReorderProb {
+	if imp.ReorderProb > 0 && s.RandFor("netem-impair").Float64() < imp.ReorderProb {
 		l.ReorderedDeliveries++
 		at = at.Add(imp.reorderDelay(l))
 	}
 
-	if imp.CorruptProb > 0 && s.Rand().Float64() < imp.CorruptProb {
+	if imp.CorruptProb > 0 && s.RandFor("netem-impair").Float64() < imp.CorruptProb {
 		l.CorruptedDeliveries++
 		data := make([]byte, len(frame))
 		copy(data, frame)
@@ -107,43 +107,24 @@ func (l *Link) impairedDeliver(ifc *Interface, arrive sim.Time, frameLen uint64,
 			// reliably fails (the "malformed" drop path).
 			data[0] ^= 0xf0
 		}
-		l.scheduleRaw(ifc, at, data, unicast)
+		l.deliverRaw(ifc, home, at, data, unicast)
 	} else if decErr == nil {
-		l.schedulePkt(ifc, at, pkt, unicast)
+		l.deliverPkt(ifc, home, at, pkt, unicast)
 	} else {
 		// Sender handed us an undecodable frame: transmit already keeps
 		// the buffer alive (recyclable=false), so sharing it is safe.
-		l.scheduleRaw(ifc, at, frame, unicast)
+		l.deliverRaw(ifc, home, at, frame, unicast)
 	}
 
-	if imp.DupProb > 0 && s.Rand().Float64() < imp.DupProb {
+	if imp.DupProb > 0 && s.RandFor("netem-impair").Float64() < imp.DupProb {
 		l.AttemptedDeliveries++
 		l.DupDeliveries++
 		l.Delivered++
 		l.DeliveredBytes += frameLen
 		if decErr == nil {
-			l.schedulePkt(ifc, at, pkt, unicast)
+			l.deliverPkt(ifc, home, at, pkt, unicast)
 		} else {
-			l.scheduleRaw(ifc, at, frame, unicast)
+			l.deliverRaw(ifc, home, at, frame, unicast)
 		}
 	}
-}
-
-// schedulePkt arms delivery of the shared decoded packet at time at.
-func (l *Link) schedulePkt(ifc *Interface, at sim.Time, pkt *ipv6.Packet, unicast bool) {
-	l.net.Sched.At(at, func() {
-		if ifc.up && ifc.Link == l {
-			ifc.Node.receivePacket(ifc, pkt, unicast)
-		}
-	})
-}
-
-// scheduleRaw arms delivery of raw bytes (decode happens at the receiver,
-// where failure is counted as a "malformed" drop).
-func (l *Link) scheduleRaw(ifc *Interface, at sim.Time, data []byte, unicast bool) {
-	l.net.Sched.At(at, func() {
-		if ifc.up && ifc.Link == l {
-			ifc.Node.receive(ifc, data, unicast)
-		}
-	})
 }

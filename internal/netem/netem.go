@@ -31,16 +31,19 @@ type Network struct {
 	// frameBufs recycles encode buffers: transmitPacket encodes into one,
 	// and once Link.transmit has decoded the frame and scheduled delivery
 	// of the shared packet, the bytes are dead and the buffer returns
-	// here. Single-threaded like the scheduler, so no locking.
-	frameBufs [][]byte
+	// here. One independent pool per region — each pool is only touched by
+	// its region's (single-threaded) scheduler, so no locking; unsharded
+	// networks use pool 0.
+	frameBufs [][][]byte
 }
 
 // getFrameBuf returns an empty encode buffer (recycled when available).
-func (n *Network) getFrameBuf() []byte {
-	if l := len(n.frameBufs); l > 0 {
-		b := n.frameBufs[l-1]
-		n.frameBufs[l-1] = nil
-		n.frameBufs = n.frameBufs[:l-1]
+func (n *Network) getFrameBuf(region int) []byte {
+	pool := n.frameBufs[region]
+	if l := len(pool); l > 0 {
+		b := pool[l-1]
+		pool[l-1] = nil
+		n.frameBufs[region] = pool[:l-1]
 		return b[:0]
 	}
 	return make([]byte, 0, 2048)
@@ -48,13 +51,22 @@ func (n *Network) getFrameBuf() []byte {
 
 // putFrameBuf recycles an encode buffer. Callers must be certain nothing
 // retains the bytes (Link.transmit reports this).
-func (n *Network) putFrameBuf(b []byte) {
-	n.frameBufs = append(n.frameBufs, b)
+func (n *Network) putFrameBuf(region int, b []byte) {
+	n.frameBufs[region] = append(n.frameBufs[region], b)
 }
 
 // New creates an empty network driven by the given scheduler.
 func New(s *sim.Scheduler) *Network {
-	return &Network{Sched: s}
+	return &Network{Sched: s, frameBufs: make([][][]byte, 1)}
+}
+
+// SetRegions sizes the per-region frame-buffer pools for a sharded run.
+// Kernel wiring calls it once, before any traffic, with the region count;
+// every node's scheduler region index must stay below it.
+func (n *Network) SetRegions(count int) {
+	for len(n.frameBufs) < count {
+		n.frameBufs = append(n.frameBufs, nil)
+	}
 }
 
 // NewLink adds a link. bandwidth is in bits/second (0 means infinitely
@@ -151,13 +163,96 @@ type Link struct {
 	busyUntil sim.Time
 	down      bool
 	geBad     bool // Gilbert–Elliott channel state (true = bad/bursty)
+
+	// sched, when non-nil, is the region scheduler driving this link's
+	// transmissions in a sharded run (see sim.Kernel); nil means the
+	// network's root scheduler.
+	sched *sim.Scheduler
+	// xpeer pairs two half-links into one cross-region point-to-point
+	// link: each region owns one half — its attached interface, taps,
+	// serialization state and counters — so window-parallel execution
+	// shares nothing. Deliveries toward the far half travel as
+	// cross-region messages (sim.Scheduler.Post). nil for ordinary links.
+	xpeer *Link
+	// second marks the half created by SplitLink; Canon resolves to the
+	// original, so link-keyed lookups (prefixes, route tables) have one
+	// canonical identity per link.
+	second bool
+}
+
+// scheduler returns the region scheduler driving this link.
+func (l *Link) scheduler() *sim.Scheduler {
+	if l.sched != nil {
+		return l.sched
+	}
+	return l.net.Sched
+}
+
+// Sched returns the region scheduler driving this link (the network's root
+// scheduler when the link is not region-assigned).
+func (l *Link) Sched() *sim.Scheduler { return l.scheduler() }
+
+// SetSched assigns the link to a region scheduler (kernel wiring).
+func (l *Link) SetSched(s *sim.Scheduler) { l.sched = s }
+
+// Peer returns the far half of a split cross-region link, or nil.
+func (l *Link) Peer() *Link { return l.xpeer }
+
+// AttachedIfaces counts the interfaces attached to the link across both
+// halves of a split link; on an ordinary link it is just len(l.Ifaces).
+// Protocol code that wants "is this a point-to-point link?" must use this
+// rather than len(l.Ifaces), which sees only one side of a split link.
+func (l *Link) AttachedIfaces() int {
+	n := len(l.Ifaces)
+	if l.xpeer != nil {
+		n += len(l.xpeer.Ifaces)
+	}
+	return n
+}
+
+// Canon returns the link's canonical identity: itself for ordinary links
+// and primary halves, the primary for the far half of a split link.
+func (l *Link) Canon() *Link {
+	if l.second {
+		return l.xpeer
+	}
+	return l
+}
+
+// SplitLink creates (or returns) the far half of a cross-region
+// point-to-point link. The halves share name, bandwidth, delay and MTU but
+// nothing mutable: each side serializes, draws loss, counts and taps its own
+// transmissions, so the two regions never race. Modeling-wise the split link
+// is full-duplex (per-direction serialization) and its burst-loss channel
+// state advances independently per direction — acceptable for point-to-point
+// core links, which is the only kind a partition ever cuts. The peer half is
+// appended to n.Links so link-wide sweeps (impairment scripts, taps,
+// accounting) cover both directions; LinkByName still finds the primary.
+func (n *Network) SplitLink(l *Link) *Link {
+	if l.xpeer != nil {
+		return l.xpeer
+	}
+	p := &Link{
+		Name: l.Name, Bandwidth: l.Bandwidth, Delay: l.Delay,
+		LossRate: l.LossRate, MTU: l.MTU, net: n, xpeer: l, second: true,
+	}
+	l.xpeer = p
+	n.Links = append(n.Links, p)
+	return p
 }
 
 // SetUp raises or cuts the link medium (cable cut, dead switch — use
 // Interface.SetUp for single-port failures). While down, every transmit is
 // discarded at the sender and counted in DownDrops; frames already in
 // flight when the cut happens still arrive (propagation is not recalled).
-func (l *Link) SetUp(up bool) { l.down = !up }
+// On a split cross-region link both halves cut together (one medium). Only
+// safe at single-threaded moments (setup, or a kernel barrier).
+func (l *Link) SetUp(up bool) {
+	l.down = !up
+	if l.xpeer != nil {
+		l.xpeer.down = !up
+	}
+}
 
 // Up reports whether the link medium is up.
 func (l *Link) Up() bool { return !l.down }
@@ -171,15 +266,24 @@ func (l *Link) AddTap(t Tap) { l.Taps = append(l.Taps, t) }
 // is present.
 func (l *Link) Resolve(addr ipv6.Addr) *Interface {
 	var proxy *Interface
-	for _, ifc := range l.Ifaces {
-		if !ifc.up {
-			continue
-		}
-		if ifc.HasAddr(addr) {
-			return ifc
-		}
-		if ifc.proxies[addr] {
-			proxy = ifc
+	halves := [2][]*Interface{l.Ifaces}
+	if l.xpeer != nil {
+		// Resolution spans both halves of a split link: the far side's
+		// interfaces and addresses are static router configuration, safe to
+		// read from any region.
+		halves[1] = l.xpeer.Ifaces
+	}
+	for _, ifaces := range halves {
+		for _, ifc := range ifaces {
+			if !ifc.up {
+				continue
+			}
+			if ifc.HasAddr(addr) {
+				return ifc
+			}
+			if ifc.proxies[addr] {
+				proxy = ifc
+			}
 		}
 	}
 	return proxy
@@ -197,7 +301,7 @@ func (l *Link) Resolve(addr ipv6.Addr) *Interface {
 // frame failed to decode, in which case delivery falls back to carrying
 // (and re-parsing) the raw bytes.
 func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) (recyclable bool) {
-	s := l.net.Sched
+	s := l.scheduler()
 	now := s.Now()
 
 	if l.down {
@@ -234,7 +338,7 @@ func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) (recycl
 	imp := l.Impair
 	var geLoss float64
 	if imp != nil {
-		geLoss = imp.stepBurst(l, s.Rand())
+		geLoss = imp.stepBurst(l, s.RandFor("netem-impair"))
 	}
 
 	unicast := l2dst != nil
@@ -242,46 +346,65 @@ func (l *Link) transmit(from *Interface, frame []byte, l2dst *Interface) (recycl
 	// receiving and dispatching frames is attributed to the wire, while
 	// timers armed by protocol handlers retag themselves (see sim.PushTag).
 	prevTag := s.PushTag("link")
-	for _, ifc := range l.Ifaces {
-		if ifc == from || !ifc.up {
-			continue
+	deliver := func(ifaces []*Interface, home *Link) {
+		for _, ifc := range ifaces {
+			if ifc == from || !ifc.up {
+				continue
+			}
+			if l2dst != nil && ifc != l2dst {
+				continue
+			}
+			l.AttemptedDeliveries++
+			if l.LossRate > 0 && s.RandFor("netem-loss").Float64() < l.LossRate {
+				l.LostDeliveries++
+				continue
+			}
+			if geLoss > 0 && s.RandFor("netem-loss").Float64() < geLoss {
+				l.LostDeliveries++
+				continue
+			}
+			l.Delivered++
+			l.DeliveredBytes += frameLen
+			ifc := ifc
+			if imp != nil {
+				l.impairedDeliver(ifc, home, arrive, frameLen, pkt, frame, decErr, unicast)
+				continue
+			}
+			if decErr == nil {
+				l.deliverPkt(ifc, home, arrive, pkt, unicast)
+			} else {
+				l.deliverRaw(ifc, home, arrive, frame, unicast)
+			}
 		}
-		if l2dst != nil && ifc != l2dst {
-			continue
-		}
-		l.AttemptedDeliveries++
-		if l.LossRate > 0 && s.Rand().Float64() < l.LossRate {
-			l.LostDeliveries++
-			continue
-		}
-		if geLoss > 0 && s.Rand().Float64() < geLoss {
-			l.LostDeliveries++
-			continue
-		}
-		l.Delivered++
-		l.DeliveredBytes += frameLen
-		ifc := ifc
-		if imp != nil {
-			l.impairedDeliver(ifc, arrive, frameLen, pkt, frame, decErr, unicast)
-			continue
-		}
-		if decErr == nil {
-			s.At(arrive, func() {
-				if ifc.up && ifc.Link == l {
-					ifc.Node.receivePacket(ifc, pkt, unicast)
-				}
-			})
-		} else {
-			data := frame // kept alive: buffer must not be recycled
-			s.At(arrive, func() {
-				if ifc.up && ifc.Link == l {
-					ifc.Node.receive(ifc, data, unicast)
-				}
-			})
-		}
+	}
+	deliver(l.Ifaces, l)
+	if l.xpeer != nil {
+		deliver(l.xpeer.Ifaces, l.xpeer)
 	}
 	s.PopTag(prevTag)
 	return decErr == nil
+}
+
+// deliverPkt arms delivery of the shared decoded packet at time at. home is
+// the (half-)link the receiver is attached to; for a receiver on the far
+// half of a split link, the event travels as a cross-region message and the
+// packet crosses regions as immutable shared data.
+func (l *Link) deliverPkt(ifc *Interface, home *Link, at sim.Time, pkt *ipv6.Packet, unicast bool) {
+	l.scheduler().Post(ifc.Node.Sched(), at, func() {
+		if ifc.up && ifc.Link == home {
+			ifc.Node.receivePacket(ifc, pkt, unicast)
+		}
+	})
+}
+
+// deliverRaw arms delivery of raw bytes (decode happens at the receiver,
+// where failure is counted as a "malformed" drop).
+func (l *Link) deliverRaw(ifc *Interface, home *Link, at sim.Time, data []byte, unicast bool) {
+	l.scheduler().Post(ifc.Node.Sched(), at, func() {
+		if ifc.up && ifc.Link == home {
+			ifc.Node.receive(ifc, data, unicast)
+		}
+	})
 }
 
 // Attach connects iface to this link (used by Node.AddInterface and by
@@ -310,6 +433,13 @@ func (l *Link) detach(ifc *Interface) {
 func (n *Network) Move(ifc *Interface, dst *Link) {
 	if ifc.Link == dst {
 		return
+	}
+	if dst.scheduler() != ifc.Node.Sched() {
+		// A node's pending timers and protocol state live in its region's
+		// scheduler; moving its attachment into another region would tear
+		// the timeline apart. Region-aware workloads must confine each
+		// mobile node's roaming to its home region (see topo.WorkloadSpec).
+		panic(fmt.Sprintf("netem: Move %s to %s crosses shard regions", ifc, dst.Name))
 	}
 	if ifc.Link != nil {
 		ifc.Link.detach(ifc)

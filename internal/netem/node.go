@@ -82,6 +82,11 @@ type Node struct {
 	reasm   *ipv6.Reassembler
 	pathMTU map[ipv6.Addr]int // learned from Packet Too Big errors
 
+	// sched, when non-nil, is the region scheduler every timer and delivery
+	// for this node runs on in a sharded run; nil means the network's root
+	// scheduler (see Sched).
+	sched *sim.Scheduler
+
 	// logicalAddrs are addresses the node answers to without configuring
 	// them on any interface (a mobile node's home address while away: it
 	// must accept routing-header deliveries to it, but must not answer
@@ -174,8 +179,20 @@ func (n *Node) reassembler() *ipv6.Reassembler {
 	return n.reasm
 }
 
-// Sched returns the network's scheduler (convenience for protocol modules).
-func (n *Node) Sched() *sim.Scheduler { return n.Net.Sched }
+// Sched returns the scheduler driving this node: its region scheduler in a
+// sharded run, else the network's root scheduler. Protocol modules arm every
+// timer through it, which is what keeps all of a node's state inside one
+// region.
+func (n *Node) Sched() *sim.Scheduler {
+	if n.sched != nil {
+		return n.sched
+	}
+	return n.Net.Sched
+}
+
+// SetSched assigns the node to a region scheduler (kernel wiring; must
+// happen before any protocol module captures the scheduler).
+func (n *Node) SetSched(s *sim.Scheduler) { n.sched = s }
 
 // AddInterface creates a new interface and attaches it to link. Router
 // interfaces accept all multicast traffic.

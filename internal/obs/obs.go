@@ -19,6 +19,8 @@
 package obs
 
 import (
+	"sort"
+
 	"mip6mcast/internal/sim"
 )
 
@@ -73,10 +75,18 @@ type Event struct {
 // Recorder accumulates events for one virtual timeline. The zero value is
 // usable but unstamped; Bind attaches the scheduler whose clock stamps
 // subsequent events.
+//
+// In a sharded run (sim.Kernel) the root recorder carries only
+// single-threaded driver events; every region gets a child recorder (Shard)
+// written exclusively by that region's scheduler, and MergeShards folds the
+// children into the root stream at kernel barriers — ordered by
+// (time, region, emission order) and re-stamped with root sequence numbers,
+// so the merged trace is one deterministic timeline.
 type Recorder struct {
-	s      *sim.Scheduler
-	seq    uint64
-	events []Event
+	s        *sim.Scheduler
+	seq      uint64
+	events   []Event
+	children []*Recorder
 }
 
 // NewRecorder returns a recorder stamping events with s's clock. s may be
@@ -131,6 +141,63 @@ func (r *Recorder) Counter(node, track string, value float64) {
 		return
 	}
 	r.append(Event{Cat: CatCounter, Node: node, Track: track, Value: value})
+}
+
+// Shard returns a child recorder bound to s, creating it on first use. All
+// events emitted from s's region go through the child; the root stream
+// receives them at the next MergeShards. Nil-safe (returns nil, and every
+// Recorder method tolerates a nil receiver).
+func (r *Recorder) Shard(s *sim.Scheduler) *Recorder {
+	if r == nil {
+		return nil
+	}
+	for _, c := range r.children {
+		if c.s == s {
+			return c
+		}
+	}
+	c := &Recorder{s: s}
+	r.children = append(r.children, c)
+	return c
+}
+
+// For returns the recorder that events stamped by s must go through: the
+// child bound to s if one exists, else the root. Sequential runs have no
+// children, so For is the identity there. Nil-safe.
+func (r *Recorder) For(s *sim.Scheduler) *Recorder {
+	if r == nil {
+		return nil
+	}
+	for _, c := range r.children {
+		if c.s == s {
+			return c
+		}
+	}
+	return r
+}
+
+// MergeShards folds all child events into the root stream and clears the
+// children. Events merge ordered by (time, region index, per-child emission
+// order) — sort.SliceStable over At preserves the latter two because
+// children are appended in region order — and are re-stamped with root
+// sequence numbers, yielding one deterministic timeline. Sharded runs call
+// this at every kernel barrier (all drained child events precede the
+// barrier time, so root events emitted at the barrier stay chronological).
+func (r *Recorder) MergeShards() {
+	if r == nil || len(r.children) == 0 {
+		return
+	}
+	start := len(r.events)
+	for _, c := range r.children {
+		r.events = append(r.events, c.events...)
+		c.events = c.events[:0]
+	}
+	merged := r.events[start:]
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].At < merged[j].At })
+	for i := range merged {
+		merged[i].Seq = r.seq
+		r.seq++
+	}
 }
 
 // Len reports how many events have been recorded. Nil-safe.

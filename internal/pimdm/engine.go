@@ -320,7 +320,7 @@ func (e *Engine) startIface(ifc *netem.Interface) {
 		e.sendHello(ifc)
 	})
 	// Triggered hello on startup, with small jitter.
-	s.Schedule(time.Duration(s.Rand().Int63n(int64(100*time.Millisecond))), func() { e.sendHello(ifc) })
+	s.Schedule(s.Jitter("pimdm-hello", 100*time.Millisecond), func() { e.sendHello(ifc) })
 }
 
 // --- message transmission -------------------------------------------------
@@ -711,7 +711,7 @@ func (e *Engine) ForwardMulticast(rx netem.RxPacket) {
 		// the Assert election resolves it instead.
 		e.Stats.RPFFailures++
 		if ds := ent.downstream[rx.Iface]; ds != nil {
-			if e.NeighborCount(rx.Iface) == 1 && len(rx.Iface.Link.Ifaces) == 2 {
+			if e.NeighborCount(rx.Iface) == 1 && rx.Iface.Link.AttachedIfaces() == 2 {
 				ent.maybeSendNonRPFPrune(rx.Iface, ds)
 			} else if ent.shouldForward(rx.Iface, ds) {
 				ent.maybeSendAssert(rx.Iface)
@@ -902,14 +902,10 @@ func (e *Engine) onJoinPrune(ifc *netem.Interface, src ipv6.Addr, m *JoinPrune) 
 			} else if ifc == ent.upstream {
 				// A sibling pruned our upstream LAN; if we still need the
 				// traffic, schedule an overriding Join (§4.4.2). A zero
-				// JoinOverrideInterval means no random delay (Int63n
-				// panics on 0), not no override.
+				// JoinOverrideInterval means no random delay, not no
+				// override (Jitter returns 0 for a zero bound).
 				if ent.hasDownstreamDemand() && !ent.prunedUpstream {
-					var d time.Duration
-					if e.Config.JoinOverrideInterval > 0 {
-						d = time.Duration(e.Node.Sched().Rand().Int63n(int64(e.Config.JoinOverrideInterval)))
-					}
-					ent.joinOverride.Reset(d)
+					ent.joinOverride.Reset(e.Node.Sched().Jitter("pimdm-hello", e.Config.JoinOverrideInterval))
 				}
 			}
 		}

@@ -39,13 +39,15 @@ func NewDomain(net *netem.Network) *Domain {
 // destinations by longest (here: only) prefix match against these.
 func (d *Domain) AssignPrefix(l *netem.Link, prefix ipv6.Addr) {
 	p := prefix.Prefix(64)
-	d.prefixes[l] = p
-	d.byPrefix[p] = l
+	d.prefixes[l.Canon()] = p
+	d.byPrefix[p] = l.Canon()
 }
 
-// PrefixOf returns the /64 assigned to l.
+// PrefixOf returns the /64 assigned to l. Both halves of a split
+// cross-region link resolve to the one prefix assigned to its canonical
+// identity.
 func (d *Domain) PrefixOf(l *netem.Link) (ipv6.Addr, bool) {
-	p, ok := d.prefixes[l]
+	p, ok := d.prefixes[l.Canon()]
 	return p, ok
 }
 
@@ -120,23 +122,34 @@ func (d *Domain) computeRouter(r *netem.Node) *RouterTable {
 	visitedRouter := map[*netem.Node]bool{r: true}
 	var queue []frontier
 
+	// linkIfaces spans a link's whole broadcast domain: for split
+	// cross-region links the neighbor router sits on the far half.
+	linkIfaces := func(l *netem.Link) [][]*netem.Interface {
+		if p := l.Peer(); p != nil {
+			return [][]*netem.Interface{l.Ifaces, p.Ifaces}
+		}
+		return [][]*netem.Interface{l.Ifaces}
+	}
+
 	for _, ifc := range r.Ifaces {
 		if !ifc.Up() {
 			continue
 		}
-		l := ifc.Link
+		l := ifc.Link.Canon()
 		if !visitedLink[l] {
 			visitedLink[l] = true
 			t.entries[l] = entry{out: ifc, hops: 1}
 		}
 		// Neighbor routers on the attached link seed the frontier.
-		for _, nifc := range l.Ifaces {
-			nb := nifc.Node
-			if nb == r || !nb.IsRouter || visitedRouter[nb] {
-				continue
+		for _, side := range linkIfaces(l) {
+			for _, nifc := range side {
+				nb := nifc.Node
+				if nb == r || !nb.IsRouter || visitedRouter[nb] {
+					continue
+				}
+				visitedRouter[nb] = true
+				queue = append(queue, frontier{router: nb, first: ifc, via: nifc.LinkLocal(), dist: 1})
 			}
-			visitedRouter[nb] = true
-			queue = append(queue, frontier{router: nb, first: ifc, via: nifc.LinkLocal(), dist: 1})
 		}
 	}
 
@@ -147,18 +160,20 @@ func (d *Domain) computeRouter(r *netem.Node) *RouterTable {
 			if !ifc.Up() {
 				continue
 			}
-			l := ifc.Link
+			l := ifc.Link.Canon()
 			if !visitedLink[l] {
 				visitedLink[l] = true
 				t.entries[l] = entry{out: cur.first, via: cur.via, hops: cur.dist + 1}
 			}
-			for _, nifc := range l.Ifaces {
-				nb := nifc.Node
-				if !nb.IsRouter || visitedRouter[nb] {
-					continue
+			for _, side := range linkIfaces(l) {
+				for _, nifc := range side {
+					nb := nifc.Node
+					if !nb.IsRouter || visitedRouter[nb] {
+						continue
+					}
+					visitedRouter[nb] = true
+					queue = append(queue, frontier{router: nb, first: cur.first, via: cur.via, dist: cur.dist + 1})
 				}
-				visitedRouter[nb] = true
-				queue = append(queue, frontier{router: nb, first: cur.first, via: cur.via, dist: cur.dist + 1})
 			}
 		}
 	}

@@ -36,19 +36,84 @@ func Build(g *topo.Graph, opt Options, populate ...func(*Network)) *Network {
 	}
 	f := &Network{
 		Opt:     opt,
-		Sched:   sim.NewScheduler(opt.Seed),
 		Links:   map[string]*netem.Link{},
 		Routers: map[string]*Router{},
 		Hosts:   map[string]*Host{},
 		Topo:    g,
 		haFor:   map[string]string{},
 	}
+
+	// Sharded path: partition the router graph into regions, one scheduler
+	// each, under a conservative kernel. A graph that collapses to a single
+	// region (Figure 1: all links are LANs) falls back to the sequential
+	// path — no kernel, byte-identical to Shards=0.
+	var linkRegion []int
+	if opt.Shards > 1 {
+		part := topo.PartitionGraph(g, opt.Shards, opt.MobilityGroups)
+		if part.N > 1 {
+			f.Part = part
+			linkRegion = part.LinkRegion(g)
+			f.regionScheds = make([]*sim.Scheduler, part.N)
+			for i := range f.regionScheds {
+				// Region 0 keeps the raw run seed so a hypothetical
+				// one-region kernel would reproduce the sequential
+				// timeline; the rest get decorrelated derived seeds.
+				seed := opt.Seed
+				if i > 0 {
+					seed = sim.DeriveSeed(opt.Seed, fmt.Sprintf("region-%d", i))
+				}
+				f.regionScheds[i] = sim.NewScheduler(seed)
+			}
+			// Every cross-region link is a core link, so the core delay is
+			// the smallest cross-region latency — the kernel's lookahead.
+			look := opt.CoreLinkDelay
+			if look <= 0 {
+				look = opt.LinkDelay
+			}
+			if look <= 0 {
+				panic("scenario: sharded build needs a positive CoreLinkDelay (or LinkDelay) as kernel lookahead")
+			}
+			f.Kern = sim.NewKernel(f.regionScheds, look, opt.ShardWorkers)
+			f.Sched = f.regionScheds[0]
+			if opt.Obs != nil {
+				// First barrier fold: merge region recorder children into
+				// the root stream before any action or sampler appends
+				// barrier-time events (keeps the stream chronological).
+				f.Kern.OnBarrier(opt.Obs.MergeShards)
+			}
+		}
+	}
+	if f.Sched == nil {
+		f.Sched = sim.NewScheduler(opt.Seed)
+	}
 	f.Net = netem.New(f.Sched)
+	if f.Part != nil {
+		f.Net.SetRegions(f.Part.N)
+	}
 	f.Dom = routing.NewDomain(f.Net)
 
 	for i, spec := range g.Links {
-		l := f.Net.NewLink(spec.Name, opt.LinkBandwidth, opt.LinkDelay)
+		delay := opt.LinkDelay
+		if opt.CoreLinkDelay > 0 && !spec.LAN {
+			// Applied at every shard count, so sequential and sharded
+			// cells of one experiment model the same network.
+			delay = opt.CoreLinkDelay
+		}
+		l := f.Net.NewLink(spec.Name, opt.LinkBandwidth, delay)
 		l.MTU = opt.LinkMTU
+		if f.Part != nil {
+			if r := linkRegion[i]; r >= 0 {
+				l.SetSched(f.regionScheds[r])
+			} else {
+				// Region-spanning link: split into paired half-links, one
+				// per endpoint region (the partitioner guarantees exactly
+				// two routers and no LAN here).
+				ends := g.RoutersOn(i)
+				l.SetSched(f.regionScheds[f.Part.Region[ends[0]]])
+				peer := f.Net.SplitLink(l)
+				peer.SetSched(f.regionScheds[f.Part.Region[ends[1]]])
+			}
+		}
 		f.Links[spec.Name] = l
 		f.linkOrder = append(f.linkOrder, spec.Name)
 		f.Dom.AssignPrefix(l, Prefix(i+1))
@@ -59,12 +124,21 @@ func Build(g *topo.Graph, opt Options, populate ...func(*Network)) *Network {
 
 	for ri, rs := range g.Routers {
 		node := f.Net.NewNode(rs.Name, true)
+		if f.Part != nil {
+			node.SetSched(f.regionScheds[f.Part.Region[ri]])
+		}
 		r := &Router{Node: node, HAs: map[string]*mipv6.HomeAgent{}}
 		f.Routers[rs.Name] = r
 		f.routerOrder = append(f.routerOrder, rs.Name)
 		for _, li := range rs.Links {
 			link := f.Links[g.Links[li].Name]
-			ifc := node.AddInterface(link)
+			attach := link
+			if p := link.Peer(); p != nil && link.Sched() != node.Sched() {
+				// Split link whose primary half lives in another region:
+				// this router attaches to its own region's half.
+				attach = p
+			}
+			ifc := node.AddInterface(attach)
 			p, _ := f.Dom.PrefixOf(link)
 			// Router addresses: <prefix>::aX where X encodes the router.
 			ifc.AddAddr(p.WithInterfaceID(0xa0 + uint64(ri+1)))

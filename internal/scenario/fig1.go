@@ -49,6 +49,30 @@ type Options struct {
 	// flags for the uni-directional tunnels.
 	LinkMTU int
 
+	// Shards, when > 1, partitions the router graph into up to that many
+	// regions (topo.PartitionGraph — LANs are never split) and drives them
+	// in parallel under a conservative sim.Kernel: one deterministic
+	// timeline, byte-identical for any worker count at a fixed shard
+	// count. 0 or 1 selects the classic single-scheduler sequential path,
+	// byte-identical to previous releases. Note that different shard
+	// counts are different (individually deterministic) timelines: each
+	// region draws from its own seeded streams.
+	Shards int
+	// ShardWorkers bounds the goroutines driving regions inside a window
+	// (0: one per region). It never affects the timeline, only wall-clock.
+	ShardWorkers int
+	// CoreLinkDelay, when > 0, replaces LinkDelay on every non-LAN (core)
+	// link — at ALL shard counts, so sequential and sharded cells of one
+	// experiment model the same network. Sharded runs need a positive core
+	// delay: the smallest cross-region latency is the kernel's
+	// conservative lookahead (CoreLinkDelay if set, else LinkDelay).
+	CoreLinkDelay time.Duration
+	// MobilityGroups lists sets of link indices that must share a region:
+	// a mobile node's home LAN plus every LAN it may move to (netem.Move
+	// panics across regions). Scale experiments pass the partition's
+	// LinkRegion to topo.GenWorkload so churn stays region-confined.
+	MobilityGroups [][]int
+
 	// Obs, when non-nil, is bound to the network's scheduler and attached
 	// to every protocol engine and link: state-machine transitions and
 	// decoded wire transmissions land in the recorder for JSONL/Perfetto
@@ -174,12 +198,61 @@ type Network struct {
 	Acct    *metrics.Accountant
 	// Topo is the graph this network was built from.
 	Topo *topo.Graph
+	// Kern drives the sharded run; nil on the sequential path (including
+	// Shards > 1 over a graph that collapses to one region, e.g. Figure 1,
+	// whose links are all LANs). Part is the region assignment it runs.
+	Kern *sim.Kernel
+	Part *topo.Partition
 
-	linkOrder   []string          // link names in construction order
-	routerOrder []string          // router names in construction order
-	haFor       map[string]string // link name -> home-agent router name
+	regionScheds []*sim.Scheduler  // region index -> scheduler; nil sequential
+	linkOrder    []string          // link names in construction order
+	routerOrder  []string          // router names in construction order
+	haFor        map[string]string // link name -> home-agent router name
 
 	obs *obs.Recorder // set by AttachRecorder; nil when not observing
+}
+
+// Scheds returns every region scheduler in region order — just the one
+// scheduler on the sequential path. Aggregating probes (telemetry, run
+// stats) must sum over all of them.
+func (f *Network) Scheds() []*sim.Scheduler {
+	if f.regionScheds != nil {
+		return f.regionScheds
+	}
+	return []*sim.Scheduler{f.Sched}
+}
+
+// At schedules a scripted driver action (a move, a crash, an impairment
+// toggle) at absolute virtual time t. Sequentially it is Sched.At; sharded
+// it forces a kernel barrier there, so fn runs single-threaded with every
+// region clock equal to t — the only safe point to mutate cross-region
+// state. Driver scripts must use this instead of f.Sched.At.
+func (f *Network) At(t sim.Time, fn func()) {
+	if f.Kern != nil {
+		f.Kern.At(t, fn)
+		return
+	}
+	f.Sched.At(t, fn)
+}
+
+// After schedules a driver action after a delay of virtual time (see At).
+func (f *Network) After(d time.Duration, fn func()) {
+	if f.Kern != nil {
+		f.Kern.Schedule(d, fn)
+		return
+	}
+	f.Sched.Schedule(d, fn)
+}
+
+// SamplePeriodic runs fn at every multiple of period. Sharded, the kernel
+// fires it at barriers where all region clocks equal the due time, so fn
+// may read the whole network as a consistent cut.
+func (f *Network) SamplePeriodic(period time.Duration, fn func()) {
+	if f.Kern != nil {
+		f.Kern.Every(period, fn)
+		return
+	}
+	sim.NewTicker(f.Sched, period, 0, fn)
 }
 
 // LinkOrder returns the link names in construction (graph) order. All
@@ -279,7 +352,7 @@ func (f *Network) CrashRouter(name string) {
 	}
 	r.Node.Crash()
 	if f.obs != nil {
-		f.obs.Instant(name, "node "+name, "crash", "")
+		f.obs.For(r.Node.Sched()).Instant(name, "node "+name, "crash", "")
 	}
 }
 
@@ -297,11 +370,12 @@ func (f *Network) RestartRouter(name string) {
 	r.HAs = map[string]*mipv6.HomeAgent{}
 	f.startRouterProtocols(name)
 	if f.obs != nil {
-		f.obs.Instant(name, "node "+name, "restart", "")
-		r.Engine.AttachRecorder(f.obs)
-		r.MLD.AttachRecorder(f.obs)
+		rec := f.obs.For(r.Node.Sched())
+		rec.Instant(name, "node "+name, "restart", "")
+		r.Engine.AttachRecorder(rec)
+		r.MLD.AttachRecorder(rec)
 		for _, ha := range r.HomeAgents() {
-			ha.AttachRecorder(f.obs)
+			ha.AttachRecorder(rec)
 		}
 	}
 }
@@ -318,15 +392,26 @@ func (f *Network) AttachRecorder(rec *obs.Recorder) {
 	}
 	rec.Bind(f.Sched)
 	f.obs = rec
+	// Sharded runs split the recorder: one child per region (written only
+	// by that region's events during windows), merged into rec's stream at
+	// every kernel barrier — the merge fold is registered by Build, first
+	// among the barrier folds so root events at the barrier time append
+	// after all merged (earlier) child events.
+	if f.Kern != nil {
+		for _, s := range f.regionScheds {
+			rec.Shard(s)
+		}
+	}
 	for _, name := range f.routerOrder {
 		r, ok := f.Routers[name]
 		if !ok {
 			continue
 		}
-		r.Engine.AttachRecorder(rec)
-		r.MLD.AttachRecorder(rec)
+		rr := rec.For(r.Node.Sched())
+		r.Engine.AttachRecorder(rr)
+		r.MLD.AttachRecorder(rr)
 		for _, ha := range r.HomeAgents() {
-			ha.AttachRecorder(rec)
+			ha.AttachRecorder(rr)
 		}
 	}
 	hosts := make([]string, 0, len(f.Hosts))
@@ -340,14 +425,22 @@ func (f *Network) AttachRecorder(rec *obs.Recorder) {
 }
 
 func (f *Network) attachHostRecorder(h *Host) {
-	h.MN.AttachRecorder(f.obs)
-	h.MLD.Obs = f.obs
+	hr := f.obs.For(h.Node.Sched())
+	h.MN.AttachRecorder(hr)
+	h.MLD.Obs = hr
 }
 
 // AddHost creates an additional mobile-capable host with its home on the
 // given link.
 func (f *Network) AddHost(name, homeLink string, iid uint64) *Host {
 	node := f.Net.NewNode(name, false)
+	if f.Part != nil {
+		// Hosts live in their home LAN's region (LANs are never split, so
+		// the link's scheduler is the region scheduler). Must precede
+		// interface attachment and protocol construction — modules capture
+		// the node's scheduler.
+		node.SetSched(f.Links[homeLink].Sched())
+	}
 	ifc := node.AddInterface(f.Links[homeLink])
 	haRouter := f.Routers[f.haFor[homeLink]]
 	var haAddr ipv6.Addr
@@ -390,10 +483,22 @@ func (f *Network) Move(host, link string) {
 }
 
 // Run advances the simulation by d.
-func (f *Network) Run(d time.Duration) { f.Sched.RunFor(d) }
+func (f *Network) Run(d time.Duration) {
+	if f.Kern != nil {
+		f.Kern.Run(d)
+		return
+	}
+	f.Sched.RunFor(d)
+}
 
 // RunUntil advances the simulation to absolute time t.
-func (f *Network) RunUntil(t sim.Time) { f.Sched.RunUntil(t) }
+func (f *Network) RunUntil(t sim.Time) {
+	if f.Kern != nil {
+		f.Kern.RunUntil(t)
+		return
+	}
+	f.Sched.RunUntil(t)
+}
 
 // Settle runs long enough for NDP/SLAAC, PIM hello exchange and initial MLD
 // queries to complete (10 s of virtual time).

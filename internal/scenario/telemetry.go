@@ -25,20 +25,43 @@ func attachTelemetry(f *Network) {
 
 	// Scheduler health: queue depth (sampled + bucketed for a depth
 	// distribution), cumulative dispatch count, and the per-tick dispatch
-	// delta (events per sampling period).
-	s := f.Sched
+	// delta (events per sampling period). Sharded runs sample at kernel
+	// barriers (all region clocks equal — a consistent cut) and aggregate
+	// across region schedulers: sums for depth/dispatch, max for the
+	// high-water mark. With one scheduler this reduces to the classic
+	// single-timeline series.
+	scheds := f.Scheds()
 	qhist := reg.Histogram("sim/queue_depth_dist", []float64{4, 16, 64, 256, 1024, 4096})
 	reg.Gauge("sim/queue_depth", func() float64 {
-		d := float64(s.Pending())
+		var d float64
+		for _, s := range scheds {
+			d += float64(s.Pending())
+		}
 		qhist.Observe(d)
 		return d
 	})
-	reg.Gauge("sim/queue_high_water", func() float64 { return float64(s.QueueHighWater()) })
-	reg.Gauge("sim/dispatched_total", func() float64 { return float64(s.Processed()) })
+	reg.Gauge("sim/queue_high_water", func() float64 {
+		var hw float64
+		for _, s := range scheds {
+			if v := float64(s.QueueHighWater()); v > hw {
+				hw = v
+			}
+		}
+		return hw
+	})
+	dispatched := func() uint64 {
+		var n uint64
+		for _, s := range scheds {
+			n += s.Processed()
+		}
+		return n
+	}
+	reg.Gauge("sim/dispatched_total", func() float64 { return float64(dispatched()) })
 	var lastDispatched uint64
 	reg.Gauge("sim/events_per_tick", func() float64 {
-		d := s.Processed() - lastDispatched
-		lastDispatched = s.Processed()
+		n := dispatched()
+		d := n - lastDispatched
+		lastDispatched = n
 		return float64(d)
 	})
 
@@ -48,15 +71,35 @@ func attachTelemetry(f *Network) {
 		ln := ln
 		l := f.Links[ln]
 		lc := f.Acct.Of(l)
+		// A split cross-region link counts each direction on its own half;
+		// the series reports the whole link, so fold the peer half in.
+		var pc *metrics.LinkCounters
+		peer := l.Peer()
+		if peer != nil {
+			pc = f.Acct.Of(peer)
+		}
 		reg.Gauge("link "+ln+"/ctrl_bytes", func() float64 {
-			return float64(lc.Bytes[metrics.ClassPIM] + lc.Bytes[metrics.ClassMLD] +
-				lc.Bytes[metrics.ClassNDP] + lc.Bytes[metrics.ClassMIPv6])
+			n := lc.Bytes[metrics.ClassPIM] + lc.Bytes[metrics.ClassMLD] +
+				lc.Bytes[metrics.ClassNDP] + lc.Bytes[metrics.ClassMIPv6]
+			if pc != nil {
+				n += pc.Bytes[metrics.ClassPIM] + pc.Bytes[metrics.ClassMLD] +
+					pc.Bytes[metrics.ClassNDP] + pc.Bytes[metrics.ClassMIPv6]
+			}
+			return float64(n)
 		})
 		reg.Gauge("link "+ln+"/data_bytes", func() float64 {
-			return float64(lc.Bytes[metrics.ClassData] + lc.Bytes[metrics.ClassTunnel])
+			n := lc.Bytes[metrics.ClassData] + lc.Bytes[metrics.ClassTunnel]
+			if pc != nil {
+				n += pc.Bytes[metrics.ClassData] + pc.Bytes[metrics.ClassTunnel]
+			}
+			return float64(n)
 		})
 		reg.Gauge("link "+ln+"/drops", func() float64 {
-			return float64(l.LostDeliveries + l.CorruptedDeliveries + l.DownDrops)
+			n := l.LostDeliveries + l.CorruptedDeliveries + l.DownDrops
+			if peer != nil {
+				n += peer.LostDeliveries + peer.CorruptedDeliveries + peer.DownDrops
+			}
+			return float64(n)
 		})
 	}
 
@@ -107,5 +150,13 @@ func attachTelemetry(f *Network) {
 	if f.obs != nil {
 		reg.Mirror(f.obs, "telemetry")
 	}
-	reg.Start(s, every)
+	if f.Kern != nil {
+		// Barrier-driven sampling: the kernel forces a barrier at every
+		// period, where all region clocks agree — each Row is a consistent
+		// cross-region cut. The root scheduler stamps row times.
+		reg.StartManual(f.Sched, every)
+		f.Kern.Every(every, reg.Sample)
+		return
+	}
+	reg.Start(f.Sched, every)
 }

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// pingPong wires two regions exchanging timestamped messages with a fixed
+// cross-region latency and records every event as "r<region>@<time>:<label>"
+// in a shared (mutex-free: appended only at single-threaded moments) log.
+// Messages are posted during windows, so the log exercises outbox merging.
+func shardFixture(t *testing.T, workers int) []string {
+	t.Helper()
+	a := NewScheduler(1)
+	b := NewScheduler(2)
+	k := NewKernel([]*Scheduler{a, b}, 10*time.Millisecond, workers)
+
+	var logA, logB []string // per-region logs, merged at the end
+	const lat = 25 * time.Millisecond
+
+	var ping, pong func(n int)
+	ping = func(n int) {
+		logA = append(logA, fmt.Sprintf("rA@%v:ping%d", a.Now(), n))
+		if n < 40 {
+			// Random per-region work that must not disturb the other side.
+			a.Schedule(time.Duration(a.RandFor("work").Int63n(int64(time.Millisecond))), func() {})
+			a.Post(b, a.Now().Add(lat), func() { pong(n) })
+		}
+	}
+	pong = func(n int) {
+		logB = append(logB, fmt.Sprintf("rB@%v:pong%d", b.Now(), n))
+		b.Post(a, b.Now().Add(lat), func() { ping(n + 1) })
+	}
+	a.Schedule(0, func() { ping(0) })
+
+	k.RunUntil(Time(5 * time.Second))
+	if a.Now() != Time(5*time.Second) || b.Now() != Time(5*time.Second) {
+		t.Fatalf("clocks not at deadline: %v / %v", a.Now(), b.Now())
+	}
+	return append(append([]string{}, logA...), logB...)
+}
+
+// The timeline must be byte-identical no matter how many workers drive the
+// window executions.
+func TestKernelDeterministicAcrossWorkers(t *testing.T) {
+	w1 := shardFixture(t, 1)
+	w8 := shardFixture(t, 8)
+	if len(w1) == 0 {
+		t.Fatal("fixture recorded nothing")
+	}
+	if len(w1) != len(w8) {
+		t.Fatalf("log lengths differ: %d vs %d", len(w1), len(w8))
+	}
+	for i := range w1 {
+		if w1[i] != w8[i] {
+			t.Fatalf("logs diverge at %d: %q vs %q", i, w1[i], w8[i])
+		}
+	}
+}
+
+// Cross-region messages must arrive at their exact timestamps and in send
+// order, and the ping-pong must complete (no message lost at any barrier).
+func TestKernelMessageTiming(t *testing.T) {
+	log := shardFixture(t, 4)
+	// 41 pings (0..40) and 41 pongs (0..40): ping40 does not send.
+	wantPings, wantPongs := 41, 41
+	pings, pongs := 0, 0
+	for _, l := range log {
+		if l[1] == 'A' {
+			pings++
+		} else {
+			pongs++
+		}
+	}
+	if pings != wantPings || pongs != wantPongs-1 {
+		t.Fatalf("got %d pings, %d pongs; want %d, %d", pings, pongs, wantPings, wantPongs-1)
+	}
+	// ping n happens at exactly n * 50ms (two 25ms legs per round trip).
+	if want := "rA@0.000s:ping0"; log[0] != want {
+		t.Fatalf("log[0] = %q, want %q", log[0], want)
+	}
+	if want := "rA@2.000s:ping40"; log[40] != want {
+		t.Fatalf("log[40] = %q, want %q", log[40], want)
+	}
+}
+
+// Periodic hooks run at exact multiples of their period with all clocks at
+// the due time, and driver actions run at their exact times ahead of hooks.
+func TestKernelBarrierHooks(t *testing.T) {
+	a := NewScheduler(1)
+	b := NewScheduler(2)
+	k := NewKernel([]*Scheduler{a, b}, time.Millisecond, 2)
+
+	// Background load so windows stay short.
+	var tick func()
+	tick = func() { a.Schedule(300*time.Microsecond, tick) }
+	tick()
+
+	var samples []Time
+	k.Every(time.Second, func() {
+		if a.Now() != b.Now() {
+			t.Fatalf("hook saw torn clocks: %v vs %v", a.Now(), b.Now())
+		}
+		samples = append(samples, a.Now())
+	})
+	var actionAt Time
+	k.At(Time(2500*time.Millisecond), func() { actionAt = a.Now() })
+
+	k.RunUntil(Time(3 * time.Second))
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3 (%v)", len(samples), samples)
+	}
+	for i, s := range samples {
+		if want := Time(time.Duration(i+1) * time.Second); s != want {
+			t.Fatalf("sample %d at %v, want %v", i, s, want)
+		}
+	}
+	if actionAt != Time(2500*time.Millisecond) {
+		t.Fatalf("driver action ran at %v", actionAt)
+	}
+}
+
+// Fold hooks run at every barrier; a shards=1 kernel degenerates to the
+// sequential scheduler (events, clock and inclusive-deadline semantics).
+func TestKernelSingleRegionMatchesSequential(t *testing.T) {
+	run := func(mk func(s *Scheduler, until Time)) []Time {
+		s := NewScheduler(7)
+		var log []Time
+		var rearm func()
+		rearm = func() {
+			log = append(log, s.Now())
+			s.Schedule(time.Duration(s.RandFor("x").Int63n(int64(100*time.Millisecond)))+time.Millisecond, rearm)
+		}
+		s.Schedule(0, rearm)
+		mk(s, Time(2*time.Second))
+		return log
+	}
+	seq := run(func(s *Scheduler, until Time) { s.RunUntil(until) })
+	par := run(func(s *Scheduler, until Time) {
+		NewKernel([]*Scheduler{s}, time.Millisecond, 1).RunUntil(until)
+	})
+	if len(seq) == 0 || len(seq) != len(par) {
+		t.Fatalf("event counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("timelines diverge at %d: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}

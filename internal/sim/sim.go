@@ -101,8 +101,15 @@ type Scheduler struct {
 	now     Time
 	queue   eventQueue
 	seq     uint64
+	seed    int64
 	rng     *rand.Rand
+	streams map[string]*rand.Rand
 	stopped bool
+	// region and outbox are set by kernel wiring (see shard.go): the
+	// scheduler's region index and its per-destination-region mailboxes
+	// for cross-region messages. outbox is nil in unsharded runs.
+	region int
+	outbox [][]xmsg
 	// processed counts events executed; useful for kernel benchmarks and
 	// runaway detection in tests.
 	processed uint64
@@ -132,15 +139,71 @@ type Scheduler struct {
 // Two schedulers built with the same seed and fed the same schedule calls
 // produce identical runs.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	return &Scheduler{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// Rand returns the scheduler's deterministic random source. All randomness in
-// a simulation (MLD response delays, jitter) must come from here.
+// Seed returns the seed the scheduler was constructed with.
+func (s *Scheduler) Seed() int64 { return s.seed }
+
+// Rand returns the scheduler's root deterministic random source. Simulation
+// components must not share it: each consumer draws from its own named
+// stream via RandFor, so that adding or removing one randomized component
+// never shifts the draws of another. The root source remains for tests and
+// ad-hoc tooling that own a whole timeline.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// RandFor returns the deterministic random stream for a named consumer
+// ("pimdm-hello", "mld", "ndp", "timer-jitter", "netem-impair", ...). Each
+// stream is seeded from (scheduler seed, stream name), so a stream's draw
+// sequence depends only on the seed and that consumer's own draw count —
+// enabling or disabling any other randomized component leaves it intact.
+func (s *Scheduler) RandFor(stream string) *rand.Rand {
+	if r, ok := s.streams[stream]; ok {
+		return r
+	}
+	if s.streams == nil {
+		s.streams = make(map[string]*rand.Rand)
+	}
+	r := rand.New(rand.NewSource(streamSeed(s.seed, stream)))
+	s.streams[stream] = r
+	return r
+}
+
+// Jitter draws a uniform duration in [0, max) from the named stream. A
+// max <= 0 returns 0: degenerate configurations (zero response delay, zero
+// jitter) must never feed a non-positive bound to Int63n, which panics.
+func (s *Scheduler) Jitter(stream string, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(s.RandFor(stream).Int63n(int64(max)))
+}
+
+// DeriveSeed derives an independent seed from a base seed and a name, with
+// the same decorrelation guarantees as RandFor's streams. Kernel wiring uses
+// it to give each shard region its own scheduler seed ("region-1",
+// "region-2", ...); region 0 keeps the raw run seed so a one-region sharded
+// timeline is identical to the sequential one.
+func DeriveSeed(seed int64, name string) int64 { return streamSeed(seed, name) }
+
+// streamSeed derives a stream's seed from the run seed and the stream name:
+// FNV-1a over the name, then a splitmix64 finalizer over the sum. The
+// finalizer decorrelates nearby run seeds, so replicate seeds derived by
+// small arithmetic steps still get unrelated streams.
+func streamSeed(seed int64, stream string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(stream); i++ {
+		h ^= uint64(stream[i])
+		h *= 1099511628211
+	}
+	z := uint64(seed) + h + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
 
 // Processed reports how many events have executed so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }

@@ -111,11 +111,7 @@ func NewTicker(s *Scheduler, period time.Duration, jitter time.Duration, fn func
 }
 
 func (t *Ticker) arm() {
-	d := t.period
-	if t.jitter > 0 {
-		d += time.Duration(t.s.Rand().Int63n(int64(t.jitter)))
-	}
-	t.ev = t.s.Schedule(d, t.tick)
+	t.ev = t.s.Schedule(t.period+t.s.Jitter("timer-jitter", t.jitter), t.tick)
 }
 
 func (t *Ticker) tick() {

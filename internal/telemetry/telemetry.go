@@ -217,6 +217,26 @@ func (r *Registry) Start(s *sim.Scheduler, every time.Duration) {
 	s.PopTag(prev)
 }
 
+// StartManual freezes the column set and records s as the stamping clock,
+// but installs no ticker: the caller drives sampling by invoking Sample
+// itself. Sharded runs use this — the kernel fires Sample at barriers, where
+// all region clocks agree and a cross-region snapshot is a consistent cut.
+// Nil-safe.
+func (r *Registry) StartManual(s *sim.Scheduler, every time.Duration) {
+	if r == nil {
+		return
+	}
+	if r.started {
+		panic("telemetry: Start called twice")
+	}
+	if every <= 0 {
+		panic("telemetry: Start with non-positive period")
+	}
+	r.freeze()
+	r.every = every
+	r.sched = s
+}
+
 // Started reports whether Start has been called (the scenario builder uses
 // it to attach a shared registry to only the first network a cell builds).
 // Nil-safe.

@@ -1,0 +1,209 @@
+package topo
+
+// Partitioning for the sharded parallel kernel: assign every router to a
+// region such that only point-to-point core links ever cross a region
+// boundary. Multi-access media cannot be split — a LAN's broadcast domain,
+// its attached hosts and its home agent are one tightly-coupled state
+// machine — so LAN links and any link with more than two routers force
+// their routers into one region, as do caller-supplied mobility groups
+// (link sets one mobile population roams among). What remains is a cluster
+// graph connected by 2-router core links; regions grow over it by
+// deterministic breadth-first accretion toward a balanced router count.
+
+// Partition is a region assignment for a graph's routers.
+type Partition struct {
+	// Region maps router index to region index; every router appears in
+	// exactly one region.
+	Region []int
+	// N is the number of regions actually formed (1 <= N <= requested).
+	N int
+	// Cut lists the link indices whose attached routers span two regions.
+	// By construction these are always 2-router non-LAN links.
+	Cut []int
+}
+
+// LinkRegion returns the per-link region: the region of the link's
+// attached routers for intra-region links, or -1 for cut links.
+func (p *Partition) LinkRegion(g *Graph) []int {
+	out := make([]int, len(g.Links))
+	for li := range g.Links {
+		out[li] = -1
+		rs := g.RoutersOn(li)
+		if len(rs) == 0 {
+			continue
+		}
+		r := p.Region[rs[0]]
+		same := true
+		for _, ri := range rs[1:] {
+			if p.Region[ri] != r {
+				same = false
+				break
+			}
+		}
+		if same {
+			out[li] = r
+		}
+	}
+	return out
+}
+
+// PartitionGraph splits g's routers into at most shards regions. groups
+// lists additional co-region constraints as sets of link indices: all
+// routers attached to any link of one group land in the same region
+// (mobility domains — every LAN a scripted or generated mobile node can
+// attach to must share its home's region). The result is a pure function
+// of (g, shards, groups): byte-identical across calls, worker counts and
+// machines.
+func PartitionGraph(g *Graph, shards int, groups [][]int) *Partition {
+	n := len(g.Routers)
+	p := &Partition{Region: make([]int, n)}
+	if shards < 1 {
+		shards = 1
+	}
+
+	// Union-find over routers seeded by the unsplittable media.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra { // smallest index wins: keeps roots deterministic
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	onLink := make([][]int, len(g.Links))
+	for li := range g.Links {
+		onLink[li] = g.RoutersOn(li)
+	}
+	for li, l := range g.Links {
+		if l.LAN || len(onLink[li]) > 2 {
+			for _, ri := range onLink[li][1:] {
+				union(onLink[li][0], ri)
+			}
+		}
+	}
+	for _, grp := range groups {
+		first := -1
+		for _, li := range grp {
+			for _, ri := range onLink[li] {
+				if first < 0 {
+					first = ri
+				} else {
+					union(first, ri)
+				}
+			}
+		}
+	}
+
+	// Collapse to clusters in first-router order.
+	clusterOf := make([]int, n)
+	var clusterWeight []int
+	rootCluster := map[int]int{}
+	for ri := 0; ri < n; ri++ {
+		root := find(ri)
+		ci, ok := rootCluster[root]
+		if !ok {
+			ci = len(clusterWeight)
+			rootCluster[root] = ci
+			clusterWeight = append(clusterWeight, 0)
+		}
+		clusterOf[ri] = ci
+		clusterWeight[ci]++
+	}
+	nc := len(clusterWeight)
+
+	// Cluster adjacency through the remaining (2-router, non-LAN) links,
+	// neighbor lists in link order for determinism.
+	adj := make([][]int, nc)
+	for li, l := range g.Links {
+		if l.LAN || len(onLink[li]) != 2 {
+			continue
+		}
+		a, b := clusterOf[onLink[li][0]], clusterOf[onLink[li][1]]
+		if a != b {
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+	}
+
+	// Grow regions by BFS accretion: scan clusters in index order, seed a
+	// region at the first unassigned cluster, and absorb BFS-reachable
+	// clusters until the region carries its share of routers. The last
+	// region takes everything left, bounding the count at shards.
+	regionOf := make([]int, nc)
+	for i := range regionOf {
+		regionOf[i] = -1
+	}
+	target := (n + shards - 1) / shards
+	region := 0
+	assigned := 0
+	for seed := 0; seed < nc && assigned < nc; seed++ {
+		if regionOf[seed] >= 0 {
+			continue
+		}
+		if region == shards-1 {
+			for ci := 0; ci < nc; ci++ {
+				if regionOf[ci] < 0 {
+					regionOf[ci] = region
+					assigned++
+				}
+			}
+			break
+		}
+		weight := 0
+		queue := []int{seed}
+		regionOf[seed] = region
+		assigned++
+		weight += clusterWeight[seed]
+		for len(queue) > 0 && weight < target {
+			ci := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[ci] {
+				if regionOf[nb] >= 0 || weight >= target {
+					continue
+				}
+				regionOf[nb] = region
+				assigned++
+				weight += clusterWeight[nb]
+				queue = append(queue, nb)
+			}
+		}
+		region++
+	}
+
+	// Compact region numbering in router order (region indices follow the
+	// first router that uses them) and collect cut links.
+	remap := map[int]int{}
+	for ri := 0; ri < n; ri++ {
+		r := regionOf[clusterOf[ri]]
+		nr, ok := remap[r]
+		if !ok {
+			nr = len(remap)
+			remap[r] = nr
+		}
+		p.Region[ri] = nr
+	}
+	p.N = len(remap)
+	for li := range g.Links {
+		rs := onLink[li]
+		for _, ri := range rs[1:] {
+			if p.Region[ri] != p.Region[rs[0]] {
+				p.Cut = append(p.Cut, li)
+				break
+			}
+		}
+	}
+	return p
+}

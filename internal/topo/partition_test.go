@@ -1,0 +1,200 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// partitionInvariants checks the properties every partition must satisfy:
+// every router in exactly one region with a compact region index, no LAN or
+// multi-access link split across regions, all mobility groups co-region, and
+// Cut holding exactly the region-spanning (2-router, non-LAN) links.
+func partitionInvariants(t *testing.T, g *Graph, shards int, groups [][]int, p *Partition) {
+	t.Helper()
+	if len(p.Region) != len(g.Routers) {
+		t.Fatalf("%s: Region covers %d routers, want %d", g.Name, len(p.Region), len(g.Routers))
+	}
+	if p.N < 1 || p.N > shards {
+		t.Fatalf("%s: N=%d out of range [1,%d]", g.Name, p.N, shards)
+	}
+	seen := make([]bool, p.N)
+	for ri, r := range p.Region {
+		if r < 0 || r >= p.N {
+			t.Fatalf("%s: router %d in region %d, want [0,%d)", g.Name, ri, r, p.N)
+		}
+		seen[r] = true
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Fatalf("%s: region %d is empty", g.Name, r)
+		}
+	}
+
+	cut := map[int]bool{}
+	for _, li := range p.Cut {
+		cut[li] = true
+	}
+	for li, l := range g.Links {
+		rs := g.RoutersOn(li)
+		split := false
+		for _, ri := range rs[1:] {
+			if p.Region[ri] != p.Region[rs[0]] {
+				split = true
+				break
+			}
+		}
+		if split && (l.LAN || len(rs) != 2) {
+			t.Fatalf("%s: link %d (%q, LAN=%v, %d routers) split across regions",
+				g.Name, li, l.Name, l.LAN, len(rs))
+		}
+		if split != cut[li] {
+			t.Fatalf("%s: link %d split=%v but Cut membership=%v", g.Name, li, split, cut[li])
+		}
+	}
+
+	lr := p.LinkRegion(g)
+	for li := range g.Links {
+		rs := g.RoutersOn(li)
+		switch {
+		case cut[li]:
+			if lr[li] != -1 {
+				t.Fatalf("%s: cut link %d has LinkRegion %d, want -1", g.Name, li, lr[li])
+			}
+		case len(rs) > 0:
+			if lr[li] != p.Region[rs[0]] {
+				t.Fatalf("%s: link %d LinkRegion %d, want %d", g.Name, li, lr[li], p.Region[rs[0]])
+			}
+		}
+	}
+
+	for gi, grp := range groups {
+		want := -1
+		for _, li := range grp {
+			for _, ri := range g.RoutersOn(li) {
+				if want < 0 {
+					want = p.Region[ri]
+				} else if p.Region[ri] != want {
+					t.Fatalf("%s: mobility group %d spans regions %d and %d",
+						g.Name, gi, want, p.Region[ri])
+				}
+			}
+		}
+	}
+}
+
+func partitionTestGraphs(t *testing.T) []*Graph {
+	t.Helper()
+	var gs []*Graph
+	gs = append(gs, Figure1(), Tree(15, 2), Grid(4, 5), Barabasi(40, 2, 11))
+	for _, fam := range []string{"tree", "grid", "ba"} {
+		g, err := FromSpec(fam, 23, 7)
+		if err != nil {
+			t.Fatalf("FromSpec(%s): %v", fam, err)
+		}
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	for _, g := range partitionTestGraphs(t) {
+		var groups [][]int
+		if g.Name == "fig1" {
+			// The figure-1 churn domain: R3's mobile population roams L4-L6.
+			groups = [][]int{{3, 4, 5}}
+		}
+		for _, shards := range []int{1, 2, 3, 4, 8, len(g.Routers), len(g.Routers) + 5} {
+			p := PartitionGraph(g, shards, groups)
+			partitionInvariants(t, g, shards, groups, p)
+			if shards == 1 && p.N != 1 {
+				t.Fatalf("%s: shards=1 produced %d regions", g.Name, p.N)
+			}
+		}
+	}
+}
+
+// The partition is a pure function of its inputs.
+func TestPartitionDeterministic(t *testing.T) {
+	g := Barabasi(60, 2, 3)
+	a := PartitionGraph(g, 4, nil)
+	b := PartitionGraph(g, 4, nil)
+	if a.N != b.N || len(a.Cut) != len(b.Cut) {
+		t.Fatalf("partitions differ: N %d/%d, cut %d/%d", a.N, b.N, len(a.Cut), len(b.Cut))
+	}
+	for ri := range a.Region {
+		if a.Region[ri] != b.Region[ri] {
+			t.Fatalf("router %d region differs: %d vs %d", ri, a.Region[ri], b.Region[ri])
+		}
+	}
+}
+
+// Regions should be usefully balanced on topologies that admit a split: no
+// region may hold every router when more than one region exists, and on the
+// generated families a 4-way split must actually produce multiple regions.
+func TestPartitionProducesMultipleRegions(t *testing.T) {
+	for _, g := range []*Graph{Tree(31, 2), Grid(6, 6), Barabasi(48, 2, 5)} {
+		p := PartitionGraph(g, 4, nil)
+		if p.N < 2 {
+			t.Fatalf("%s: 4-way partition produced %d region(s)", g.Name, p.N)
+		}
+		counts := make([]int, p.N)
+		for _, r := range p.Region {
+			counts[r]++
+		}
+		for r, c := range counts {
+			if c == len(g.Routers) {
+				t.Fatalf("%s: region %d holds all %d routers despite N=%d", g.Name, r, c, p.N)
+			}
+		}
+		if len(p.Cut) == 0 {
+			t.Fatalf("%s: multiple regions but no cut links", g.Name)
+		}
+	}
+}
+
+// Region-confined workloads never schedule a move whose target LAN is in a
+// different region than the MN's home, and with one region the constrained
+// generator is draw-for-draw identical to the unconstrained one.
+func TestGenWorkloadRespectsRegions(t *testing.T) {
+	g := Barabasi(40, 2, 9)
+	p := PartitionGraph(g, 4, nil)
+	lr := p.LinkRegion(g)
+	spec := WorkloadSpec{
+		MNs: 30, Sources: 2, MemberFrac: 0.5,
+		MeanDwell: 5 * time.Second, Start: 2 * time.Second,
+		Horizon: 60 * time.Second, Seed: 17, LinkRegion: lr,
+	}
+	w, err := GenWorkload(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Moves) == 0 {
+		t.Fatal("constrained workload generated no moves")
+	}
+	for _, mv := range w.Moves {
+		home := w.MNs[mv.MN].Home
+		if lr[mv.To] != lr[home] {
+			t.Fatalf("move of mn%d to link %d (region %d) leaves home region %d",
+				mv.MN, mv.To, lr[mv.To], lr[home])
+		}
+	}
+
+	// One region: constrained and unconstrained schedules must be identical.
+	p1 := PartitionGraph(g, 1, nil)
+	spec1 := spec
+	spec1.LinkRegion = p1.LinkRegion(g)
+	w1, err := GenWorkload(g, spec1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specNil := spec
+	specNil.LinkRegion = nil
+	wNil, err := GenWorkload(g, specNil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(w1.Moves) != fmt.Sprint(wNil.Moves) {
+		t.Fatal("single-region constrained workload diverges from unconstrained")
+	}
+}

@@ -66,6 +66,14 @@ type WorkloadSpec struct {
 	Start   time.Duration
 	Horizon time.Duration
 	Seed    int64
+	// LinkRegion, when non-nil, confines churn to partition regions (see
+	// PartitionGraph): each MN's movement targets are the LANs in its home
+	// LAN's region, and an MN whose region has a single LAN never moves.
+	// A sharded simulation cannot migrate a node's event state between
+	// region schedulers mid-timeline, so the workload keeps every mobile
+	// node inside its home region. With one region (or nil) the targets
+	// and the draw sequence are identical to the unconstrained generator.
+	LinkRegion []int
 }
 
 // GenWorkload places spec.MNs mobile nodes and spec.Sources senders on
@@ -107,13 +115,28 @@ func GenWorkload(g *Graph, spec WorkloadSpec) (*Workload, error) {
 	}
 
 	if spec.MeanDwell > 0 && len(lans) > 1 {
+		var regionLANs map[int][]int
+		if spec.LinkRegion != nil {
+			regionLANs = map[int][]int{}
+			for _, li := range lans {
+				r := spec.LinkRegion[li]
+				regionLANs[r] = append(regionLANs[r], li)
+			}
+		}
 		for i := range w.MNs {
 			cur := w.MNs[i].Home
+			targets := lans
+			if regionLANs != nil {
+				targets = regionLANs[spec.LinkRegion[cur]]
+			}
+			if len(targets) < 2 {
+				continue // region-bound MN with nowhere to roam
+			}
 			t := spec.Start + expDur(rng, spec.MeanDwell)
 			for t < spec.Horizon {
-				to := lans[rng.Intn(len(lans))]
+				to := targets[rng.Intn(len(targets))]
 				for to == cur {
-					to = lans[rng.Intn(len(lans))]
+					to = targets[rng.Intn(len(targets))]
 				}
 				w.Moves = append(w.Moves, Move{At: t, MN: i, To: to})
 				cur = to

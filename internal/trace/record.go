@@ -22,6 +22,11 @@ func RecordLinks(rec *obs.Recorder, net *netem.Network, filter func(Event) bool)
 		return
 	}
 	for _, l := range net.Links {
+		// Each link's tap records through the recorder of the link's own
+		// region (For is the identity on sequential runs). Both halves of a
+		// split cross-region link are in net.Links, each tapped into its
+		// own side's recorder.
+		lr := rec.For(l.Sched())
 		l.AddTap(func(ev netem.TxEvent) {
 			e := Describe(ev)
 			if filter != nil && !filter(e) {
@@ -31,7 +36,7 @@ func RecordLinks(rec *obs.Recorder, net *netem.Network, filter func(Event) bool)
 			if e.Detail != "" {
 				detail += " " + e.Detail
 			}
-			rec.Instant("net", "link "+e.Link, e.Kind, detail)
+			lr.Instant("net", "link "+e.Link, e.Kind, detail)
 		})
 	}
 }

@@ -1,0 +1,97 @@
+package mip6mcast
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/obs"
+	"mip6mcast/internal/scenario"
+	"mip6mcast/internal/telemetry"
+)
+
+func handoverTrace(t *testing.T, mutate func(*scenario.Options)) (*obs.Recorder, []byte) {
+	t.Helper()
+	opt := FastMLDOptions(10)
+	opt.Seed = 42
+	rec := obs.NewRecorder(nil)
+	opt.Obs = rec
+	if mutate != nil {
+		mutate(&opt)
+	}
+	f := buildHandover(opt, BidirectionalTunnel, 15*time.Second)
+	f.Run(30 * time.Second)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorded nothing")
+	}
+	return rec, buf.Bytes()
+}
+
+// Enabling an impairment must not shift random draws in unrelated
+// components. A 1 ns jitter impairment consumes one "netem-impair" draw per
+// delivery but Int63n(1) is always 0, so delivery timing is unchanged — the
+// whole trace must stay byte-identical. Under the old shared-stream
+// Scheduler.Rand() the extra draws shifted every later MLD response delay,
+// PIM hello phase and NDP advertisement, rewriting the timeline.
+func TestImpairmentDoesNotShiftUnrelatedDraws(t *testing.T) {
+	_, clean := handoverTrace(t, nil)
+	_, impaired := handoverTrace(t, func(opt *scenario.Options) {
+		user := opt.OnNetwork
+		opt.OnNetwork = func(f *scenario.Network) {
+			for _, l := range f.Links {
+				l.Impair = &netem.Impairment{Jitter: time.Nanosecond}
+			}
+			if user != nil {
+				user(f)
+			}
+		}
+	})
+	if !bytes.Equal(clean, impaired) {
+		cl := bytes.Split(clean, []byte("\n"))
+		il := bytes.Split(impaired, []byte("\n"))
+		for i := 0; i < len(cl) && i < len(il); i++ {
+			if !bytes.Equal(cl[i], il[i]) {
+				t.Fatalf("1ns-jitter impairment shifted unrelated draws; traces diverge at line %d:\n clean: %s\n  impaired: %s",
+					i+1, cl[i], il[i])
+			}
+		}
+		t.Fatalf("1ns-jitter impairment changed trace length: %d vs %d lines", len(cl), len(il))
+	}
+}
+
+// Enabling telemetry sampling must not perturb the protocol timeline: with
+// the sampled rows filtered out, the event stream (times, order, content)
+// is identical to an unsampled run.
+func TestTelemetryDoesNotShiftUnrelatedDraws(t *testing.T) {
+	plain, _ := handoverTrace(t, nil)
+	sampled, _ := handoverTrace(t, func(opt *scenario.Options) {
+		opt.Telemetry = telemetry.NewRegistry()
+		opt.TelemetryEvery = time.Second
+	})
+
+	strip := func(rec *obs.Recorder) []obs.Event {
+		var out []obs.Event
+		for _, ev := range rec.Events() {
+			if ev.Node == "telemetry" {
+				continue
+			}
+			ev.Seq = 0 // mirror rows interleave, renumbering the rest
+			out = append(out, ev)
+		}
+		return out
+	}
+	a, b := strip(plain), strip(sampled)
+	if len(a) != len(b) {
+		t.Fatalf("telemetry sampling changed the protocol event count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("telemetry sampling perturbed the timeline at event %d:\n plain: %+v\n sampled: %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -86,6 +86,30 @@ for eng in pimdm hpimdm; do
     fi
 done
 
+# Sharded-kernel determinism smoke: a 4-region ba-r40 cell must emit
+# byte-identical traces and telemetry whether its regions run on one
+# goroutine or eight — under the race detector, where a cross-region data
+# race or a merge-order bug is also a crash — and report zero violations.
+# (The in-suite TestShardTraceWorkerInvariance covers both engines at
+# shards=2,4; this exercises the same contract end-to-end through the
+# CLI flags.)
+go run -race ./cmd/mip6sim -experiment scale -topo family=ba,routers=40,mns=80 \
+    -shards 4 -core-delay 2ms -replicates 1 -seed 7 -shard-workers 1 \
+    -trace-out "$tmp/k1" -telemetry-out "$tmp/k1" > "$tmp/k1.out"
+go run -race ./cmd/mip6sim -experiment scale -topo family=ba,routers=40,mns=80 \
+    -shards 4 -core-delay 2ms -replicates 1 -seed 7 -shard-workers 8 \
+    -trace-out "$tmp/k8" -telemetry-out "$tmp/k8" > "$tmp/k8.out"
+test -s "$tmp/k1/scale.telemetry.csv"
+diff -r "$tmp/k1" "$tmp/k8"
+diff "$tmp/k1.out" "$tmp/k8.out"
+if awk 'NR > 2 && NF > 1 && $2 != "0" { bad = 1 } END { exit bad }' "$tmp/k1.out"; then
+    echo "shard smoke: shard-workers=1 and =8 traces byte-identical, 0 violations"
+else
+    echo "shard smoke: invariant violations reported:" >&2
+    cat "$tmp/k1.out" >&2
+    exit 1
+fi
+
 # Live-surface smoke: run one sweep experiment with -http on an ephemeral
 # port, scrape /metrics (must be non-empty and Prometheus-shaped, with the
 # per-tag series a completed cell contributes), then SIGTERM and require a

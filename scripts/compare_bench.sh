@@ -12,7 +12,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-MACRO='^(BenchmarkFigure1Macro|BenchmarkScaleTopology)'
+MACRO='^(BenchmarkFigure1Macro|BenchmarkScaleTopology|BenchmarkShardedTimeline)'
 THRESHOLD=20 # percent
 
 if [ $# -eq 2 ]; then
