@@ -33,8 +33,11 @@ check: build vet race
 # telemetry cells: BenchmarkTelemetryOverhead prices the sampler set on the
 # Figure 1 macro run (/off must match BenchmarkFigure1Macro) and
 # BenchmarkHandleOps prices the metric handles themselves (the nil-registry
-# case must stay 0 allocs/op). Output is the `go test -json` event stream;
-# baseline numbers are documented in EXPERIMENTS.md.
+# case must stay 0 allocs/op), and the PR9 checkpoint cells:
+# BenchmarkRampAmortization prices the chaos warm-prefix fork paths (cold vs
+# live-fork vs replay-fork — the live-fork delta is the ramp the daemon's
+# checkpoint pool amortizes away). Output is the `go test -json` event
+# stream; baseline numbers are documented in EXPERIMENTS.md.
 # scripts/compare_bench.sh diffs the two most recent BENCH_PR*.json and
 # fails on macro regressions.
 # The macro cells get a time-based -benchtime so the multi-second runs
@@ -44,8 +47,8 @@ check: build vet race
 bench:
 	$(GO) test -json -run '^$$' -benchmem -benchtime 15s \
 		-bench 'BenchmarkFigure1Macro|BenchmarkScaleTopology|BenchmarkShardedTimeline|BenchmarkEngineComparison|BenchmarkTelemetryOverhead' \
-		./bench > BENCH_PR8.json
+		./bench > BENCH_PR9.json
 	$(GO) test -json -run '^$$' -benchmem \
-		-bench 'BenchmarkLinkDelivery|BenchmarkMulticastFanout|BenchmarkImpairmentFanout|BenchmarkFragmentationPath|BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding|BenchmarkHandleOps' \
-		./internal/netem ./internal/sim ./internal/obs ./internal/telemetry . >> BENCH_PR8.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR8.json | sed 's/"Output":"//;s/\\n$$//' || true
+		-bench 'BenchmarkLinkDelivery|BenchmarkMulticastFanout|BenchmarkImpairmentFanout|BenchmarkFragmentationPath|BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding|BenchmarkHandleOps|BenchmarkRampAmortization' \
+		./internal/netem ./internal/sim ./internal/obs ./internal/telemetry ./bench . >> BENCH_PR9.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR9.json | sed 's/"Output":"//;s/\\n$$//' || true

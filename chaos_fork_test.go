@@ -1,0 +1,60 @@
+package mip6mcast
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mip6mcast/internal/checkpoint"
+	"mip6mcast/internal/scenario"
+)
+
+// A chaos cell forked from a checkpointed warm prefix must reach exactly
+// the verdict a cold run of the same cell reaches — the property that
+// lets mip6simd warm the shared 0–15 s prefix once and fork all ten
+// cells from the artifact.
+func TestChaosCellForkFromWarmCheckpoint(t *testing.T) {
+	opt := chaosTune(scenario.DefaultOptions())
+	opt.Seed = 11
+
+	// Cold reference: the cell's full timeline in one piece.
+	cold := runChaosOne(opt, chaosMatrix()[1], "") // loss-10
+
+	// Warm the shared prefix once and checkpoint it.
+	warm := StartChaos(opt)
+	cp := checkpoint.Capture(warm.F, checkpoint.Meta{
+		Experiment: "chaos", Seed: opt.Seed, Engine: opt.EngineName(),
+	})
+
+	// Fork: restore the warm prefix into a fresh run, then drive the cell.
+	var forked *Run
+	if _, err := checkpoint.Restore(cp, func() (*scenario.Network, error) {
+		forked = StartChaos(opt)
+		return forked.F, nil
+	}); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	out, err := RunChaosCell(forked, "loss-10", "")
+	if err != nil {
+		t.Fatalf("RunChaosCell: %v", err)
+	}
+
+	if !reflect.DeepEqual(cold, out) {
+		t.Fatalf("forked outcome diverged from cold run:\ncold:   %+v\nforked: %+v", cold, out)
+	}
+}
+
+func TestRunChaosCellUnknownCell(t *testing.T) {
+	opt := chaosTune(scenario.DefaultOptions())
+	if _, err := RunChaosCell(StartChaos(opt), "no-such-cell", ""); err == nil ||
+		!strings.Contains(err.Error(), "unknown cell") {
+		t.Fatalf("unknown cell error = %v", err)
+	}
+}
+
+func TestChaosCellsListsMatrix(t *testing.T) {
+	names := ChaosCells()
+	if len(names) != len(chaosMatrix()) || names[0] != "baseline" {
+		t.Fatalf("ChaosCells() = %v", names)
+	}
+}

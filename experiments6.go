@@ -99,6 +99,11 @@ type ChaosOutcome struct {
 	Lost, Dup, Corrupted uint64
 }
 
+// ChaosOptions returns base with the chaos sweep's protocol tuning
+// applied (see chaosTune) — the configuration StartChaos expects, exposed
+// for out-of-process drivers like mip6simd's warm-checkpoint pool.
+func ChaosOptions(base Options) Options { return chaosTune(base) }
+
 // chaosTune applies the sweep's protocol configuration: fast MLD timers so
 // membership horizons fit the run, and PIM State Refresh so prune state
 // heals without waiting out PruneHoldtime re-floods (lost override Joins
@@ -109,19 +114,61 @@ func chaosTune(opt Options) Options {
 	return opt
 }
 
+// ChaosWarmTime ends the warm prefix every chaos cell shares: by t=15 s
+// registrations, joins and the multicast tree are built, and no cell has
+// applied its impairment yet. A given (engine, seed) produces the same
+// prefix byte-for-byte in every cell, so a sweep service can run it once,
+// checkpoint it, and fork all ten cells from that one artifact.
+const ChaosWarmTime = 15 * time.Second
+
+// StartChaos builds the chaos scenario (the Figure 1 network under the
+// tuned options — see chaosTune) and runs the shared warm prefix to
+// ChaosWarmTime. The returned run is the fork point: hand it to
+// RunChaosCell to drive one impairment cell to its verdict.
+func StartChaos(opt Options) *Run {
+	if opt.Obs == nil {
+		opt.Obs = obs.NewRecorder(nil)
+	}
+	r := NewRun(opt, LocalMembership, 200*time.Millisecond, 256)
+	r.F.Run(ChaosWarmTime)
+	return r
+}
+
+// ChaosCells lists the impairment matrix's cell names in sweep order.
+func ChaosCells() []string {
+	cells := chaosMatrix()
+	names := make([]string, len(cells))
+	for i, c := range cells {
+		names[i] = c.name
+	}
+	return names
+}
+
+// RunChaosCell drives one warmed chaos run (from StartChaos) through the
+// named impairment cell. A run is one timeline: fork a fresh StartChaos
+// (or restore one from a checkpoint) per cell.
+func RunChaosCell(r *Run, cell, tracedir string) (ChaosOutcome, error) {
+	for _, c := range chaosMatrix() {
+		if c.name == cell {
+			return finishChaos(r, c, tracedir), nil
+		}
+	}
+	return ChaosOutcome{}, fmt.Errorf("chaos: unknown cell %q (have %v)", cell, ChaosCells())
+}
+
 // runChaosOne drives one timeline: settle (0–15 s), impaired churn
 // (15–75 s: leave/rejoin, two moves, optional flap and crash), heal at
 // 75 s, quiesce to 150 s, then check invariants.
 func runChaosOne(opt Options, cell chaosCell, tracedir string) ChaosOutcome {
-	rec := opt.Obs
-	if rec == nil {
-		rec = obs.NewRecorder(nil)
-		opt.Obs = rec
-	}
-	r := NewRun(opt, LocalMembership, 200*time.Millisecond, 256)
-	f := r.F
+	return finishChaos(StartChaos(opt), cell, tracedir)
+}
 
-	f.Run(15 * time.Second) // registrations, joins, tree built
+// finishChaos takes a warmed run at ChaosWarmTime through one cell's
+// impaired churn, heal and quiesce, then checks invariants.
+func finishChaos(r *Run, cell chaosCell, tracedir string) ChaosOutcome {
+	f := r.F
+	opt := f.Opt
+	rec := opt.Obs
 
 	var imp *netem.Impairment
 	if cell.imp != nil {

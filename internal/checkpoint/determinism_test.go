@@ -1,0 +1,234 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/obs"
+	"mip6mcast/internal/scenario"
+	"mip6mcast/internal/sim"
+	"mip6mcast/internal/topo"
+)
+
+// fig1Program builds the canonical scripted Figure 1 timeline used by the
+// determinism tests: receivers join at 2 s, the source beacons every
+// 500 ms, R3 hands over to a foreign link at 12 s and returns home at
+// 22 s. Everything — construction and driver script — derives from
+// (engine, seed), which is what makes the timeline replayable.
+func fig1Program(engineName string, seed int64, rec *obs.Recorder) *scenario.Network {
+	opt := scenario.DefaultOptions()
+	opt.Engine = engineName
+	opt.Seed = seed
+	opt.Obs = rec
+	f := scenario.NewFigure1(opt)
+	f.At(sim.Time(2*time.Second), func() {
+		for _, name := range []string{"R1", "R2", "R3"} {
+			h := f.Hosts[name]
+			h.MLD.Join(h.Iface, scenario.Group)
+		}
+	})
+	f.SamplePeriodic(500*time.Millisecond, func() {
+		f.SendLocalMulticast("S", scenario.Group, []byte("beacon"))
+	})
+	f.At(sim.Time(12*time.Second), func() { f.Move("R3", "L6") })
+	f.At(sim.Time(22*time.Second), func() { f.Move("R3", "L4") })
+	return f
+}
+
+// tailJSONL serializes the events strictly after t as JSONL bytes.
+func tailJSONL(t *testing.T, events []obs.Event, after sim.Time) []byte {
+	t.Helper()
+	var tail []obs.Event
+	for _, e := range events {
+		if e.At > after {
+			tail = append(tail, e)
+		}
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteJSONL(&buf, tail); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// The golden determinism guarantee: checkpoint a fig1 run mid-flight,
+// restore it in "another process" (a fresh rebuild), continue — and the
+// trace from the checkpoint onward is byte-identical to the uninterrupted
+// run's, for both engines. The post-checkpoint handover at 22 s must
+// appear in the restored tail, proving pending driver events survive.
+func TestFig1CheckpointTailByteIdentical(t *testing.T) {
+	const (
+		mid = sim.Time(15 * time.Second)
+		end = sim.Time(30 * time.Second)
+	)
+	for _, eng := range []string{"pimdm", "hpimdm"} {
+		t.Run(eng, func(t *testing.T) {
+			// Uninterrupted reference run.
+			recA := obs.NewRecorder(nil)
+			fA := fig1Program(eng, 42, recA)
+			fA.RunUntil(end)
+
+			// Interrupted run: stop at mid and capture.
+			recB := obs.NewRecorder(nil)
+			fB := fig1Program(eng, 42, recB)
+			fB.RunUntil(mid)
+			cp := Capture(fB, Meta{Experiment: "fig1", Seed: 42, Engine: eng})
+
+			// Restore from the artifact by replaying the program, then
+			// continue to the end.
+			var recC *obs.Recorder
+			fC, err := Restore(cp, func() (*scenario.Network, error) {
+				recC = obs.NewRecorder(nil)
+				f := fig1Program(eng, 42, recC)
+				f.RunUntil(cp.Time)
+				return f, nil
+			})
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			fC.RunUntil(end)
+
+			want := tailJSONL(t, recA.Events(), cp.Time)
+			got := tailJSONL(t, recC.Events(), cp.Time)
+			if len(got) == 0 {
+				t.Fatal("restored run recorded no events after the checkpoint")
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("restored tail diverged from uninterrupted run:\nwant %d bytes, got %d bytes\nfirst want line: %s\nfirst got line:  %s",
+					len(want), len(got), firstLine(want), firstLine(got))
+			}
+
+			// The 22 s handover is after the checkpoint; the restored run
+			// must have executed it from its replayed pending queue.
+			sawLate := false
+			for _, e := range recC.Events() {
+				if e.At > sim.Time(22*time.Second) {
+					sawLate = true
+					break
+				}
+			}
+			if !sawLate {
+				t.Fatal("no events after the 22s post-checkpoint handover")
+			}
+
+			// Replay determinism also makes the full streams identical.
+			var fullA, fullC bytes.Buffer
+			if err := recA.WriteJSONL(&fullA); err != nil {
+				t.Fatal(err)
+			}
+			if err := recC.WriteJSONL(&fullC); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fullA.Bytes(), fullC.Bytes()) {
+				t.Fatal("full restored stream differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+// shardedProgram builds a 4-region Barabási–Albert network with a mobile
+// host whose home and foreign LANs are pinned to one region via
+// MobilityGroups, a fixed receiver, periodic traffic, and two scripted
+// handovers. workers varies only goroutine fan-in, never the timeline.
+func shardedProgram(t *testing.T, seed int64, workers int, rec *obs.Recorder) (*scenario.Network, string, string) {
+	t.Helper()
+	g, err := topo.FromSpec("ba", 40, 7)
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	// Two LAN links, chosen from the graph alone (pre-partition) so every
+	// build of this program picks the same pair.
+	lanI, lanJ := -1, -1
+	for li, l := range g.Links {
+		if !l.LAN {
+			continue
+		}
+		if lanI < 0 {
+			lanI = li
+		} else {
+			lanJ = li
+			break
+		}
+	}
+	if lanJ < 0 {
+		t.Skip("generated graph has fewer than two LANs")
+	}
+	home, away := g.Links[lanI].Name, g.Links[lanJ].Name
+
+	opt := scenario.DefaultOptions()
+	opt.Seed = seed
+	opt.Shards = 4
+	opt.ShardWorkers = workers
+	opt.CoreLinkDelay = 5 * time.Millisecond
+	opt.MobilityGroups = [][]int{{lanI, lanJ}}
+	opt.Obs = rec
+	f := scenario.Build(g, opt)
+	if f.Part == nil || f.Part.N < 2 {
+		t.Skip("graph collapsed to a single region")
+	}
+
+	f.AddHost("mn0", home, 0xaa01)
+	f.AddHost("rx0", away, 0xbb01)
+	f.At(sim.Time(2*time.Second), func() {
+		h := f.Hosts["rx0"]
+		h.MLD.Join(h.Iface, scenario.Group)
+	})
+	f.SamplePeriodic(500*time.Millisecond, func() {
+		f.SendLocalMulticast("mn0", scenario.Group, []byte("beacon"))
+	})
+	f.At(sim.Time(10*time.Second), func() { f.Move("mn0", away) })
+	f.At(sim.Time(18*time.Second), func() { f.Move("mn0", home) })
+	return f, home, away
+}
+
+// The same guarantee under the sharded kernel: checkpoint at a barrier,
+// restore with a different worker count, and the tail stays
+// byte-identical — shard workers parallelize wall-clock, not the timeline.
+func TestShardedCheckpointTailByteIdentical(t *testing.T) {
+	const (
+		mid = sim.Time(12 * time.Second)
+		end = sim.Time(24 * time.Second)
+	)
+	recA := obs.NewRecorder(nil)
+	fA, _, _ := shardedProgram(t, 7, 1, recA)
+	fA.RunUntil(end)
+
+	recB := obs.NewRecorder(nil)
+	fB, _, _ := shardedProgram(t, 7, 1, recB)
+	fB.RunUntil(mid)
+	cp := Capture(fB, Meta{Experiment: "ba-sharded", Seed: 7, Shards: 4})
+	if len(cp.Regions) < 2 {
+		t.Fatalf("sharded checkpoint captured %d regions", len(cp.Regions))
+	}
+
+	var recC *obs.Recorder
+	fC, err := Restore(cp, func() (*scenario.Network, error) {
+		recC = obs.NewRecorder(nil)
+		// More workers than the original run: must not change the timeline.
+		f, _, _ := shardedProgram(t, 7, 4, recC)
+		f.RunUntil(cp.Time)
+		return f, nil
+	})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	fC.RunUntil(end)
+
+	want := tailJSONL(t, recA.Events(), cp.Time)
+	got := tailJSONL(t, recC.Events(), cp.Time)
+	if len(got) == 0 {
+		t.Fatal("restored sharded run recorded no events after the checkpoint")
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("sharded restored tail diverged:\nwant %d bytes, got %d bytes\nfirst want line: %s\nfirst got line:  %s",
+			len(want), len(got), firstLine(want), firstLine(got))
+	}
+}
+
+func firstLine(b []byte) []byte {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		return b[:i]
+	}
+	return b
+}

@@ -36,14 +36,15 @@ type UnicastRouting interface {
 // to resume and is awaiting acknowledgment", whatever the wire messages
 // are called.
 type SGInfo struct {
-	Source, Group  ipv6.Addr
-	Upstream       string // RPF interface link name ("" if source local)
-	PrunedUpstream bool
-	GraftPending   bool
+	Source         ipv6.Addr `json:"source"`
+	Group          ipv6.Addr `json:"group"`
+	Upstream       string    `json:"upstream,omitempty"` // RPF interface link name ("" if source local)
+	PrunedUpstream bool      `json:"pruned_upstream,omitempty"`
+	GraftPending   bool      `json:"graft_pending,omitempty"`
 	// ForwardingOn / PrunedOn list downstream link names by current
 	// forwarding decision, each sorted.
-	ForwardingOn []string
-	PrunedOn     []string
+	ForwardingOn []string `json:"forwarding_on,omitempty"`
+	PrunedOn     []string `json:"pruned_on,omitempty"`
 }
 
 // Stats counts protocol activity; the benchmarks and experiment sweeps
@@ -146,4 +147,12 @@ type MulticastEngine interface {
 	EntryCount() int
 	Entries() []SGInfo
 	MulticastStats() Stats
+
+	// Checkpoint/Restore (see EngineCheckpoint). Checkpoint returns the
+	// deterministic snapshot of all protocol state; Restore verifies that
+	// the engine — rebuilt to the checkpoint's virtual time by
+	// deterministic replay — holds exactly the checkpointed state, and
+	// returns a descriptive diff error if it does not.
+	Checkpoint() EngineCheckpoint
+	Restore(cp EngineCheckpoint) error
 }

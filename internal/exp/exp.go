@@ -330,6 +330,8 @@ func Run(name string, ctx Context, p Params) (Result, error) {
 // per-variant observability hooks (Recorder, progress capture) already
 // wired in; bodies must build their networks from it for those hooks to
 // take effect.
+// A panicking body is contained to its variant and reported through
+// Progress as a failed cell, like a Sweep replicate.
 func ForEach(ctx Context, n int, body func(opt scenario.Options, i int)) {
 	sim.RunParallel(n, ctx.Workers, func(i int) {
 		opt := ctx.Opt
@@ -339,8 +341,8 @@ func ForEach(ctx Context, n int, body func(opt scenario.Options, i int)) {
 		if ctx.Progress != nil {
 			start = time.Now()
 		}
-		body(opt, i)
-		ctx.reportCell(i, 0, "", time.Since(start), scheds, nil)
+		cellErr := contain(func() { body(opt, i) })
+		ctx.reportCell(i, 0, "", time.Since(start), scheds, nil, cellErr)
 	})
 }
 

@@ -20,10 +20,13 @@ type JSONValue struct {
 	N    int     `json:"n"`
 }
 
-// JSONRow is one labeled result row.
+// JSONRow is one labeled result row. Errors lists the failed
+// replicates' messages (absent when every replicate succeeded); Values
+// statistics then cover only the surviving replicates.
 type JSONRow struct {
 	Label  string               `json:"label"`
 	Values map[string]JSONValue `json:"values"`
+	Errors []string             `json:"errors,omitempty"`
 }
 
 // JSONResult is the machine-readable form of one experiment run.
@@ -59,6 +62,11 @@ func ResultJSON(name string, ctx Context, p Params, r Result) JSONResult {
 			row := JSONRow{Label: pt.Label, Values: make(map[string]JSONValue, len(pt.Cols))}
 			for col, s := range pt.Cols {
 				row.Values[col] = JSONValue{Mean: s.Mean(), Std: s.Stddev(), CI95: s.CI95(), N: s.N()}
+			}
+			for _, e := range pt.Errs {
+				if e != "" {
+					row.Errors = append(row.Errors, e)
+				}
 			}
 			jr.Rows = append(jr.Rows, row)
 		}

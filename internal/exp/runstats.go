@@ -36,6 +36,10 @@ type CellStats struct {
 	// timelines, per-tag timing merged (only present when the base options
 	// set Instrument).
 	Sched sim.RunStats
+	// Err is the cell's failure ("" on success). A panicking timeline is
+	// contained to its cell — the sweep's other cells and the process
+	// carry on — with the panic value and a trimmed stack recorded here.
+	Err string
 }
 
 // EventsPerSec is the cell's dispatch rate against wall-clock time.
@@ -83,11 +87,11 @@ func (c Context) prepareCell(opt *scenario.Options, pt, rep int, scheds *[]*sim.
 
 // reportCell delivers one cell's stats to the Progress callback (no-op
 // when reporting is off). Calls are serialized across workers.
-func (c Context) reportCell(pt, rep int, label string, wall time.Duration, scheds []*sim.Scheduler, vals map[string]float64) {
+func (c Context) reportCell(pt, rep int, label string, wall time.Duration, scheds []*sim.Scheduler, vals map[string]float64, cellErr string) {
 	if c.Progress == nil {
 		return
 	}
-	cs := CellStats{Point: pt, Replicate: rep, Label: label, Engine: c.Opt.EngineName(), Wall: wall, Vals: vals}
+	cs := CellStats{Point: pt, Replicate: rep, Label: label, Engine: c.Opt.EngineName(), Wall: wall, Vals: vals, Err: cellErr}
 	for _, s := range scheds {
 		cs.Sched = MergeRunStats(cs.Sched, s.RunStats())
 	}

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"mip6mcast/internal/metrics"
@@ -28,15 +29,32 @@ type SweepSpec struct {
 // PointStats is one sweep point after replicate reduction.
 type PointStats struct {
 	Label string
-	// Cols holds the replicate statistics per measured column.
+	// Cols holds the replicate statistics per measured column, reduced
+	// over the successful replicates only.
 	Cols map[string]*metrics.Stats
 	// Raw holds each replicate's typed result in replicate order
-	// (whatever SweepSpec.Run returned; may be nil).
+	// (whatever SweepSpec.Run returned; may be nil — always nil for a
+	// failed replicate).
 	Raw []any
+	// Errs holds each replicate's failure in replicate order ("" for
+	// successful replicates): a panicking cell or one that omitted a
+	// declared column fails alone, it does not kill the sweep.
+	Errs []string
 }
 
 // Mean returns the replicate mean of one column.
 func (p PointStats) Mean(col string) float64 { return p.Cols[col].Mean() }
+
+// Failed counts the point's failed replicates.
+func (p PointStats) Failed() int {
+	n := 0
+	for _, e := range p.Errs {
+		if e != "" {
+			n++
+		}
+	}
+	return n
+}
 
 // DeriveSeed maps (master seed, replicate) to the timeline seed.
 // Replicate 0 runs the master seed itself — so a single-replicate sweep
@@ -76,6 +94,7 @@ func Sweep(ctx Context, spec SweepSpec) []PointStats {
 	type cell struct {
 		vals map[string]float64
 		raw  any
+		err  string
 	}
 	cells := make([]cell, npts*reps)
 	sim.RunParallel(len(cells), ctx.Workers, func(i int) {
@@ -88,9 +107,25 @@ func Sweep(ctx Context, spec SweepSpec) []PointStats {
 		if ctx.Progress != nil {
 			start = time.Now()
 		}
-		vals, raw := spec.Run(opt, pt)
-		ctx.reportCell(pt, rep, spec.Points[pt], time.Since(start), scheds, vals)
-		cells[i] = cell{vals: vals, raw: raw}
+		var vals map[string]float64
+		var raw any
+		cellErr := contain(func() { vals, raw = spec.Run(opt, pt) })
+		if cellErr == "" {
+			// A cell that omits a declared column is a broken measurement,
+			// not a broken sweep: fail the cell, keep the others.
+			for _, col := range spec.Columns {
+				if _, ok := vals[col]; !ok {
+					cellErr = fmt.Sprintf("exp: sweep point %q replicate %d missing column %q",
+						spec.Points[pt], rep, col)
+					break
+				}
+			}
+		}
+		if cellErr != "" {
+			vals, raw = nil, nil
+		}
+		ctx.reportCell(pt, rep, spec.Points[pt], time.Since(start), scheds, vals, cellErr)
+		cells[i] = cell{vals: vals, raw: raw, err: cellErr}
 	})
 
 	out := make([]PointStats, npts)
@@ -99,6 +134,7 @@ func Sweep(ctx Context, spec SweepSpec) []PointStats {
 			Label: spec.Points[pt],
 			Cols:  make(map[string]*metrics.Stats, len(spec.Columns)),
 			Raw:   make([]any, reps),
+			Errs:  make([]string, reps),
 		}
 		for _, c := range spec.Columns {
 			ps.Cols[c] = &metrics.Stats{}
@@ -106,18 +142,36 @@ func Sweep(ctx Context, spec SweepSpec) []PointStats {
 		for rep := 0; rep < reps; rep++ {
 			c := cells[pt*reps+rep]
 			ps.Raw[rep] = c.raw
+			ps.Errs[rep] = c.err
+			if c.err != "" {
+				continue
+			}
 			for _, col := range spec.Columns {
-				v, ok := c.vals[col]
-				if !ok {
-					panic(fmt.Sprintf("exp: sweep point %q replicate %d missing column %q",
-						ps.Label, rep, col))
-				}
-				ps.Cols[col].Add(v)
+				ps.Cols[col].Add(c.vals[col])
 			}
 		}
 		out[pt] = ps
 	}
 	return out
+}
+
+// contain runs one timeline body, converting a panic into the cell's
+// error string (with a stack trimmed to its first lines) so one bad
+// cell — a scripted cross-region move, a protocol invariant trip —
+// fails alone instead of killing a sweep that may be hours in, or the
+// long-running mip6simd process hosting it.
+func contain(fn func()) (err string) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			if len(stack) > 4096 {
+				stack = stack[:4096]
+			}
+			err = fmt.Sprintf("panic: %v\n%s", r, stack)
+		}
+	}()
+	fn()
+	return ""
 }
 
 // SweepResult renders replicate statistics as a Result: per measured

@@ -170,6 +170,20 @@ func (a Addr) String() string {
 	return b.String()
 }
 
+// MarshalText renders the address in its String form, so JSON artifacts
+// (checkpoints, traces) carry "ff0e::1" instead of a 16-byte array.
+func (a Addr) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText parses the textual form written by MarshalText.
+func (a *Addr) UnmarshalText(text []byte) error {
+	parsed, err := ParseAddr(string(text))
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
 // IsUnspecified reports whether a is ::.
 func (a Addr) IsUnspecified() bool { return a == Unspecified }
 

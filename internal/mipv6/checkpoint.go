@@ -1,0 +1,41 @@
+package mipv6
+
+import (
+	"fmt"
+	"strings"
+
+	"mip6mcast/internal/ipv6"
+)
+
+// Snapshot returns the home agent's deterministic binding-cache digest
+// for timeline checkpoints: one line per binding, sorted by home
+// address, carrying the care-of address, sequence number, and the
+// subscribed group list. Expiry/refresh timers live in the scheduler's
+// pending-event queue and are captured separately.
+func (ha *HomeAgent) Snapshot() []string {
+	bindings := ha.Bindings()
+	out := make([]string, 0, len(bindings))
+	for _, b := range bindings {
+		out = append(out, fmt.Sprintf("%s careof=%s seq=%d groups=%s",
+			b.Home, b.CareOf, b.Seq, joinAddrs(b.Groups)))
+	}
+	return out
+}
+
+// Snapshot returns the mobile node's deterministic registration-state
+// digest for timeline checkpoints: location, care-of address, binding
+// sequence number, registration status, and the SLAAC state of the
+// node's NDP host machine.
+func (mn *MobileNode) Snapshot() string {
+	return fmt.Sprintf("%s at-home=%t careof=%s seq=%d registered=%t ndp=[%s]",
+		mn.HomeAddress, mn.atHome, mn.careOf, mn.seq, mn.registered,
+		strings.Join(mn.ndpHost.Snapshot(), ";"))
+}
+
+func joinAddrs(addrs []ipv6.Addr) string {
+	parts := make([]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,36 @@
+package mld
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Snapshot returns the router's deterministic membership-state digest
+// for timeline checkpoints: one line per interface (sorted by link
+// name) carrying the querier flag, remaining startup queries, and the
+// listener records with any in-flight address-specific query
+// retransmission counts. Timer expiries live in the scheduler's
+// pending-event queue and are captured separately.
+func (r *Router) Snapshot() []string {
+	out := make([]string, 0, len(r.state))
+	for ifc, st := range r.state {
+		name := "?"
+		if ifc.Link != nil {
+			name = ifc.Link.Name
+		}
+		groups := make([]string, 0, len(st.groups))
+		for group, rec := range st.groups {
+			g := group.String()
+			if rec.specificQueriesLeft > 0 {
+				g += fmt.Sprintf("(q=%d)", rec.specificQueriesLeft)
+			}
+			groups = append(groups, g)
+		}
+		sort.Strings(groups)
+		out = append(out, fmt.Sprintf("%s querier=%t startup=%d groups=%s",
+			name, st.querier, st.startupLeft, strings.Join(groups, ",")))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,22 @@
+package ndp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot returns the host machine's deterministic SLAAC digest for
+// timeline checkpoints: one line per configured interface (sorted by
+// link name) with the current prefix and the formed address.
+func (h *Host) Snapshot() []string {
+	out := make([]string, 0, len(h.current))
+	for ifc, prefix := range h.current {
+		name := "?"
+		if ifc.Link != nil {
+			name = ifc.Link.Name
+		}
+		out = append(out, fmt.Sprintf("%s prefix=%s addr=%s", name, prefix, h.formed[ifc]))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,62 @@
+package netem
+
+import (
+	"mip6mcast/internal/sim"
+)
+
+// LinkState is the deterministic snapshot of one link's mutable state
+// for timeline checkpoints: the serialization horizon, medium/channel
+// state, the full delivery-accounting counters, and the up/down state
+// of each attached interface (in attachment order). In-flight frames
+// are not listed — they live in the scheduler's pending-event queue,
+// which the timeline checkpoint captures separately.
+type LinkState struct {
+	Name string `json:"name"`
+	// Second marks the far half of a SplitLink pair (same name, own
+	// counters and channel state).
+	Second    bool     `json:"second,omitempty"`
+	BusyUntil sim.Time `json:"busy_until_ns"`
+	Down      bool     `json:"down,omitempty"`
+	GEBad     bool     `json:"ge_bad,omitempty"`
+	Impaired  bool     `json:"impaired,omitempty"`
+
+	AttemptedDeliveries uint64 `json:"attempted"`
+	Delivered           uint64 `json:"delivered"`
+	DeliveredBytes      uint64 `json:"delivered_bytes"`
+	LostDeliveries      uint64 `json:"lost"`
+	DupDeliveries       uint64 `json:"dup,omitempty"`
+	ReorderedDeliveries uint64 `json:"reordered,omitempty"`
+	CorruptedDeliveries uint64 `json:"corrupted,omitempty"`
+	DownDrops           uint64 `json:"down_drops,omitempty"`
+	TxFrames            uint64 `json:"tx_frames"`
+	TxBytes             uint64 `json:"tx_bytes"`
+
+	IfacesUp []bool `json:"ifaces_up,omitempty"`
+}
+
+// CheckpointState snapshots this link half. For a split link, call it
+// on each half (Peer) separately — the halves share nothing mutable.
+func (l *Link) CheckpointState() LinkState {
+	st := LinkState{
+		Name:                l.Name,
+		Second:              l.second,
+		BusyUntil:           l.busyUntil,
+		Down:                l.down,
+		GEBad:               l.geBad,
+		Impaired:            l.Impair != nil,
+		AttemptedDeliveries: l.AttemptedDeliveries,
+		Delivered:           l.Delivered,
+		DeliveredBytes:      l.DeliveredBytes,
+		LostDeliveries:      l.LostDeliveries,
+		DupDeliveries:       l.DupDeliveries,
+		ReorderedDeliveries: l.ReorderedDeliveries,
+		CorruptedDeliveries: l.CorruptedDeliveries,
+		DownDrops:           l.DownDrops,
+		TxFrames:            l.TxFrames,
+		TxBytes:             l.TxBytes,
+	}
+	for _, ifc := range l.Ifaces {
+		st.IfacesUp = append(st.IfacesUp, ifc.Up())
+	}
+	return st
+}

@@ -1,0 +1,55 @@
+package pimdm
+
+import (
+	"fmt"
+	"sort"
+
+	"mip6mcast/internal/engine"
+	"mip6mcast/internal/netem"
+)
+
+// Checkpoint implements engine.MulticastEngine: the deterministic
+// snapshot of all PIM-DM protocol state. Timer expiries are not
+// included — they live in the scheduler's pending-event queue, captured
+// by the timeline checkpoint.
+func (e *Engine) Checkpoint() engine.EngineCheckpoint {
+	cp := engine.EngineCheckpoint{
+		Engine:  e.Name(),
+		Node:    e.Node.Name,
+		Entries: e.Entries(),
+		Stats:   e.Stats,
+	}
+	for ifc, nbrs := range e.neighbors {
+		for addr := range nbrs {
+			cp.Neighbors = append(cp.Neighbors, ifaceName(ifc)+"/"+addr.String())
+		}
+	}
+	sort.Strings(cp.Neighbors)
+	for group, m := range e.localMembers {
+		for ifc, n := range m {
+			name := "-"
+			if ifc != nil {
+				name = ifaceName(ifc)
+			}
+			cp.LocalMembers = append(cp.LocalMembers, fmt.Sprintf("%s@%s=%d", group, name, n))
+		}
+	}
+	sort.Strings(cp.LocalMembers)
+	return cp
+}
+
+// Restore implements engine.MulticastEngine with verify-and-adopt
+// semantics: the engine must already hold the checkpointed state
+// (rebuilt by deterministic replay to the checkpoint's virtual time);
+// Restore verifies it does and returns a descriptive diff error
+// otherwise.
+func (e *Engine) Restore(cp engine.EngineCheckpoint) error {
+	return engine.VerifyCheckpoint(cp, e.Checkpoint())
+}
+
+func ifaceName(ifc *netem.Interface) string {
+	if ifc == nil || ifc.Link == nil {
+		return "?"
+	}
+	return ifc.Link.Name
+}

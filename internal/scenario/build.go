@@ -43,6 +43,14 @@ func Build(g *topo.Graph, opt Options, populate ...func(*Network)) *Network {
 		haFor:   map[string]string{},
 	}
 
+	// Mobility groups are validated against the graph at every shard
+	// count (not just the sharded path): a spec wrong on the sequential
+	// path would start panicking the moment the same experiment is run
+	// with -shards, which is exactly the late surprise this guards against.
+	if err := topo.ValidateMobilityGroups(g, opt.MobilityGroups); err != nil {
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
+
 	// Sharded path: partition the router graph into regions, one scheduler
 	// each, under a conservative kernel. A graph that collapses to a single
 	// region (Figure 1: all links are LANs) falls back to the sequential

@@ -476,10 +476,43 @@ func (f *Network) HomeAgentOf(host string) *mipv6.HomeAgent {
 }
 
 // Move reattaches a host to another link (triggering NDP movement
-// detection, SLAAC and Mobile IPv6 registration).
+// detection, SLAAC and Mobile IPv6 registration). It panics on an
+// invalid move (unknown host or link, cross-region handover); driver
+// code that wants to fail one experiment cell instead of the process
+// uses TryMove.
 func (f *Network) Move(host, link string) {
-	h := f.Hosts[host]
-	f.Net.Move(h.Iface, f.Links[link])
+	if err := f.TryMove(host, link); err != nil {
+		panic(err)
+	}
+}
+
+// TryMove validates a handover and performs it, reporting an invalid
+// move as a descriptive error with the live run untouched. In a sharded
+// run a host can only roam among links of its current region: a node's
+// pending timers and protocol state live in its region's scheduler, so
+// a cross-region reattachment would tear the timeline apart. List every
+// link one mobile population roams among in Options.MobilityGroups and
+// the partition will keep them co-region.
+func (f *Network) TryMove(host, link string) error {
+	h, ok := f.Hosts[host]
+	if !ok {
+		return fmt.Errorf("scenario: Move: no host %q", host)
+	}
+	dst, ok := f.Links[link]
+	if !ok {
+		return fmt.Errorf("scenario: Move %s: no link %q", host, link)
+	}
+	if dst.Sched() != h.Node.Sched() {
+		cur := "detached"
+		if h.Iface.Link != nil {
+			cur = h.Iface.Link.Name
+		}
+		return fmt.Errorf("scenario: cannot move %s from %s to %s: the links run in different shard regions; "+
+			"list both in the same Options.MobilityGroups entry so the partition keeps the host's roaming domain in one region",
+			host, cur, link)
+	}
+	f.Net.Move(h.Iface, dst)
+	return nil
 }
 
 // Run advances the simulation by d.
@@ -489,6 +522,16 @@ func (f *Network) Run(d time.Duration) {
 		return
 	}
 	f.Sched.RunFor(d)
+}
+
+// Now returns the current virtual time: the kernel's barrier clock when
+// sharded (safe only between RunUntil calls), the scheduler clock
+// otherwise.
+func (f *Network) Now() sim.Time {
+	if f.Kern != nil {
+		return f.Kern.Now()
+	}
+	return f.Sched.Now()
 }
 
 // RunUntil advances the simulation to absolute time t.

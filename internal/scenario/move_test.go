@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/topo"
+)
+
+// buildSharded builds a multi-region network over a generated graph and
+// returns it with a pair of LAN names from two different regions.
+func buildSharded(t *testing.T) (f *Network, lanA, lanB string) {
+	t.Helper()
+	g, err := topo.FromSpec("ba", 40, 7)
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	opt := DefaultOptions()
+	opt.Seed = 7
+	opt.Shards = 4
+	opt.ShardWorkers = 1
+	opt.CoreLinkDelay = 5 * time.Millisecond
+	f = Build(g, opt)
+	if f.Part == nil || f.Part.N < 2 {
+		t.Skip("graph collapsed to a single region")
+	}
+	lr := f.Part.LinkRegion(g)
+	regionA := -1
+	for li, l := range g.Links {
+		if !l.LAN || lr[li] < 0 {
+			continue
+		}
+		if lanA == "" {
+			lanA, regionA = l.Name, lr[li]
+		} else if lr[li] != regionA {
+			return f, lanA, l.Name
+		}
+	}
+	t.Skip("no two LANs in different regions")
+	return
+}
+
+// Regression: a cross-region handover used to reach netem.Network.Move
+// and panic the whole process mid-run. Scenario-level validation must
+// surface it as a descriptive error and leave the run intact.
+func TestCrossRegionMoveSurfacesError(t *testing.T) {
+	f, lanA, lanB := buildSharded(t)
+	f.AddHost("mn0", lanA, 0xaa01)
+	f.Run(12 * time.Second)
+
+	err := f.TryMove("mn0", lanB)
+	if err == nil {
+		t.Fatalf("TryMove %s -> %s across regions succeeded, want error", lanA, lanB)
+	}
+	if !strings.Contains(err.Error(), "different shard regions") ||
+		!strings.Contains(err.Error(), "MobilityGroups") {
+		t.Fatalf("cross-region error not descriptive: %v", err)
+	}
+
+	// The run survives: the host is still attached and time advances.
+	if f.Hosts["mn0"].Iface.Link == nil || f.Hosts["mn0"].Iface.Link.Name != lanA {
+		t.Fatalf("failed move mutated attachment: %v", f.Hosts["mn0"].Iface.Link)
+	}
+	before := f.Now()
+	f.Run(5 * time.Second)
+	if f.Now() <= before {
+		t.Fatal("run did not continue after rejected move")
+	}
+}
+
+func TestTryMoveUnknownNames(t *testing.T) {
+	opt := DefaultOptions()
+	f := NewFigure1(opt)
+	f.Settle()
+	if err := f.TryMove("ghost", "L6"); err == nil || !strings.Contains(err.Error(), "no host") {
+		t.Fatalf("unknown host: %v", err)
+	}
+	if err := f.TryMove("R3", "L99"); err == nil || !strings.Contains(err.Error(), "no link") {
+		t.Fatalf("unknown link: %v", err)
+	}
+}
+
+// Build must reject malformed mobility groups with a descriptive error
+// at construction time, at any shard count.
+func TestBuildRejectsBadMobilityGroups(t *testing.T) {
+	g := topo.Figure1()
+	for name, groups := range map[string][][]int{
+		"out-of-range": {{0, 99}},
+		"empty-group":  {{}},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s: Build accepted malformed mobility groups", name)
+				}
+				msg, _ := r.(string)
+				if !strings.Contains(msg, "mobility group") {
+					t.Fatalf("%s: panic not descriptive: %v", name, r)
+				}
+			}()
+			opt := DefaultOptions()
+			opt.MobilityGroups = groups
+			Build(g, opt)
+		}()
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Wrapping sources with draw counters must not change any value
+// sequence: the golden fig1 trace pins this globally, but the direct
+// comparison localizes a failure to the wrapper.
+func TestCountedSourceSequencesUnchanged(t *testing.T) {
+	s := NewScheduler(42)
+	plain := rand.New(rand.NewSource(42))
+	for i := 0; i < 1000; i++ {
+		if got, want := s.Rand().Int63(), plain.Int63(); got != want {
+			t.Fatalf("draw %d: counted root source %d, plain %d", i, got, want)
+		}
+	}
+	stream := s.RandFor("pimdm-hello")
+	plainStream := rand.New(rand.NewSource(streamSeed(42, "pimdm-hello")))
+	for i := 0; i < 1000; i++ {
+		if got, want := stream.Float64(), plainStream.Float64(); got != want {
+			t.Fatalf("stream draw %d: counted %v, plain %v", i, got, want)
+		}
+	}
+}
+
+func TestStreamPositions(t *testing.T) {
+	s := NewScheduler(7)
+	if pos := s.StreamPositions(); len(pos) != 1 || pos[0].Name != "" || pos[0].Draws != 0 {
+		t.Fatalf("fresh scheduler positions = %v, want root at 0", pos)
+	}
+	s.Rand().Int63()
+	s.RandFor("b").Int63()
+	s.RandFor("a").Int63()
+	s.RandFor("a").Int63()
+	pos := s.StreamPositions()
+	if len(pos) != 3 {
+		t.Fatalf("positions = %v, want root+a+b", pos)
+	}
+	want := []StreamPos{{"", 1}, {"a", 2}, {"b", 1}}
+	for i, w := range want {
+		if pos[i] != w {
+			t.Fatalf("positions[%d] = %v, want %v", i, pos[i], w)
+		}
+	}
+
+	// Two schedulers at equal positions produce identical futures.
+	s2 := NewScheduler(7)
+	s2.AdvanceStream("", 1)
+	s2.AdvanceStream("a", 2)
+	s2.AdvanceStream("b", 1)
+	if got, want := s2.RandFor("a").Int63(), s.RandFor("a").Int63(); got != want {
+		t.Fatalf("fast-forwarded stream diverges: %d vs %d", got, want)
+	}
+	if got, want := s2.Rand().Int63(), s.Rand().Int63(); got != want {
+		t.Fatalf("fast-forwarded root diverges: %d vs %d", got, want)
+	}
+}
+
+func TestAdvanceStreamCannotRewind(t *testing.T) {
+	s := NewScheduler(1)
+	s.RandFor("x").Int63()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceStream past position did not panic")
+		}
+	}()
+	s.AdvanceStream("x", 0)
+}
+
+func TestPendingEventsSnapshot(t *testing.T) {
+	s := NewScheduler(1)
+	s.Schedule(3*time.Second, func() {})
+	prev := s.PushTag("pim")
+	ev := s.Schedule(time.Second, func() {})
+	s.Schedule(time.Second, func() {})
+	s.PopTag(prev)
+	ev.Cancel()
+
+	pend := s.PendingEvents()
+	if len(pend) != 2 {
+		t.Fatalf("pending = %v, want 2 live events (one canceled)", pend)
+	}
+	if pend[0].At != Time(time.Second) || pend[0].Tag != "pim" || pend[0].Seq != 2 {
+		t.Fatalf("pending[0] = %+v, want 1s/pim/seq2", pend[0])
+	}
+	if pend[1].At != Time(3*time.Second) || pend[1].Seq != 0 {
+		t.Fatalf("pending[1] = %+v, want 3s/seq0", pend[1])
+	}
+	if s.SeqCounter() != 3 {
+		t.Fatalf("SeqCounter = %d, want 3", s.SeqCounter())
+	}
+
+	// The snapshot of two identically-driven schedulers matches.
+	s2 := NewScheduler(1)
+	s2.Schedule(3*time.Second, func() {})
+	prev = s2.PushTag("pim")
+	ev2 := s2.Schedule(time.Second, func() {})
+	s2.Schedule(time.Second, func() {})
+	s2.PopTag(prev)
+	ev2.Cancel()
+	p2 := s2.PendingEvents()
+	for i := range pend {
+		if p2[i] != pend[i] {
+			t.Fatalf("replayed pending[%d] = %+v, want %+v", i, p2[i], pend[i])
+		}
+	}
+}

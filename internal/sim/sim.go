@@ -103,8 +103,12 @@ type Scheduler struct {
 	seq     uint64
 	seed    int64
 	rng     *rand.Rand
+	rootSrc *countingSource
 	streams map[string]*rand.Rand
-	stopped bool
+	// streamSrc holds each named stream's counted source, so checkpoints
+	// can read (and restores verify) the stream's draw position.
+	streamSrc map[string]*countingSource
+	stopped   bool
 	// region and outbox are set by kernel wiring (see shard.go): the
 	// scheduler's region index and its per-destination-region mailboxes
 	// for cross-region messages. outbox is nil in unsharded runs.
@@ -139,7 +143,8 @@ type Scheduler struct {
 // Two schedulers built with the same seed and fed the same schedule calls
 // produce identical runs.
 func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	rng, src := newCountedRand(seed)
+	return &Scheduler{seed: seed, rng: rng, rootSrc: src}
 }
 
 // Now returns the current virtual time.
@@ -166,9 +171,11 @@ func (s *Scheduler) RandFor(stream string) *rand.Rand {
 	}
 	if s.streams == nil {
 		s.streams = make(map[string]*rand.Rand)
+		s.streamSrc = make(map[string]*countingSource)
 	}
-	r := rand.New(rand.NewSource(streamSeed(s.seed, stream)))
+	r, src := newCountedRand(streamSeed(s.seed, stream))
 	s.streams[stream] = r
+	s.streamSrc[stream] = src
 	return r
 }
 

@@ -1,5 +1,7 @@
 package topo
 
+import "fmt"
+
 // Partitioning for the sharded parallel kernel: assign every router to a
 // region such that only point-to-point core links ever cross a region
 // boundary. Multi-access media cannot be split — a LAN's broadcast domain,
@@ -47,14 +49,38 @@ func (p *Partition) LinkRegion(g *Graph) []int {
 	return out
 }
 
+// ValidateMobilityGroups checks a mobility-group spec against the
+// graph: every group must be non-empty and reference only existing link
+// indices. Builders call it before partitioning so a malformed spec
+// fails with a descriptive error at build time instead of a cryptic
+// index panic (or a cross-region Move) mid-run.
+func ValidateMobilityGroups(g *Graph, groups [][]int) error {
+	for gi, grp := range groups {
+		if len(grp) == 0 {
+			return fmt.Errorf("topo %q: mobility group %d is empty; list the link indices one mobile population roams among", g.Name, gi)
+		}
+		for _, li := range grp {
+			if li < 0 || li >= len(g.Links) {
+				return fmt.Errorf("topo %q: mobility group %d references link index %d; the graph has links 0..%d",
+					g.Name, gi, li, len(g.Links)-1)
+			}
+		}
+	}
+	return nil
+}
+
 // PartitionGraph splits g's routers into at most shards regions. groups
 // lists additional co-region constraints as sets of link indices: all
 // routers attached to any link of one group land in the same region
 // (mobility domains — every LAN a scripted or generated mobile node can
 // attach to must share its home's region). The result is a pure function
 // of (g, shards, groups): byte-identical across calls, worker counts and
-// machines.
+// machines. Malformed groups panic with the ValidateMobilityGroups
+// error; validate first to surface it gracefully.
 func PartitionGraph(g *Graph, shards int, groups [][]int) *Partition {
+	if err := ValidateMobilityGroups(g, groups); err != nil {
+		panic(err)
+	}
 	n := len(g.Routers)
 	p := &Partition{Region: make([]int, n)}
 	if shards < 1 {

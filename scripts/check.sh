@@ -159,3 +159,87 @@ else
     echo "http smoke: mip6sim exited non-zero after SIGTERM" >&2
     exit 1
 fi
+
+# mip6simd smoke: start the sweep daemon, submit the same spec twice (the
+# second submission must be served from the cache), warm a chaos checkpoint,
+# fork a cell from it, and download the artifact. Then restart the daemon on
+# the same cache dir: the spec must still be a cache hit (disk persistence),
+# and re-warming the same seed must produce a byte-identical checkpoint
+# artifact — the cross-process form of the checkpoint/resume determinism the
+# in-suite tests prove in-process.
+go build -o "$tmp/mip6simd" ./cmd/mip6simd
+spec='{"experiment":"s44","params":{"tquery":[5]},"seed":7,"replicates":1}'
+start_daemon() {
+    "$tmp/mip6simd" -addr 127.0.0.1:0 -cache-dir "$tmp/simd-cache" \
+        2> "$tmp/simd.err" &
+    daemonpid=$!
+    daddr=""
+    for _ in $(seq 1 100); do
+        daddr="$(sed -n 's|^mip6simd serving http://\([^/]*\)/.*|\1|p' "$tmp/simd.err")"
+        [ -n "$daddr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$daddr" ]; then
+        echo "mip6simd smoke: daemon never announced its address" >&2
+        cat "$tmp/simd.err" >&2
+        kill "$daemonpid" 2>/dev/null || true
+        exit 1
+    fi
+}
+stop_daemon() {
+    kill -TERM "$daemonpid"
+    if ! wait "$daemonpid"; then
+        echo "mip6simd smoke: daemon exited non-zero after SIGTERM" >&2
+        exit 1
+    fi
+}
+start_daemon
+curl -fsS -X POST -d "$spec" "http://$daddr/runs" > "$tmp/simd-run1.json"
+runid="$(sed -n 's/.*"id": "\(r[0-9]*\)".*/\1/p' "$tmp/simd-run1.json")"
+# Wait for the run to finish, then resubmit: the second submission must be
+# served from the cache without running.
+for _ in $(seq 1 300); do
+    curl -fsS "http://$daddr/runs/$runid" > "$tmp/simd-run1-done.json"
+    grep -q '"status": "running"' "$tmp/simd-run1-done.json" || break
+    sleep 0.1
+done
+grep -q '"status": "done"' "$tmp/simd-run1-done.json" || {
+    echo "mip6simd smoke: first run never completed:" >&2
+    cat "$tmp/simd-run1-done.json" >&2
+    exit 1
+}
+curl -fsS -X POST -d "$spec" "http://$daddr/runs" > "$tmp/simd-run2.json"
+grep -q '"cached": true' "$tmp/simd-run2.json" || {
+    echo "mip6simd smoke: resubmitted spec was not served from the cache:" >&2
+    cat "$tmp/simd-run2.json" >&2
+    exit 1
+}
+curl -fsS -X POST -d '{"seed":9}' "http://$daddr/checkpoints" > "$tmp/simd-cp.json"
+cpid="$(sed -n 's/.*"id": "\(cp[0-9]*\)".*/\1/p' "$tmp/simd-cp.json")"
+curl -fsS "http://$daddr/checkpoints/$cpid" > "$tmp/simd-cp-a.json"
+curl -fsS -X POST -d '{"cells":["baseline"]}' \
+    "http://$daddr/checkpoints/$cpid/fork" > "$tmp/simd-fork.json"
+if ! grep -q '"outcome"' "$tmp/simd-fork.json" ||
+    grep -q '"error"' "$tmp/simd-fork.json" ||
+    grep -q '"Violations": \["' "$tmp/simd-fork.json"; then
+    echo "mip6simd smoke: forked baseline cell reported violations or failed:" >&2
+    cat "$tmp/simd-fork.json" >&2
+    exit 1
+fi
+stop_daemon
+start_daemon
+curl -fsS -X POST -d "$spec" "http://$daddr/runs" > "$tmp/simd-run3.json"
+grep -q '"cached": true' "$tmp/simd-run3.json" || {
+    echo "mip6simd smoke: restarted daemon missed the on-disk cache:" >&2
+    cat "$tmp/simd-run3.json" >&2
+    exit 1
+}
+curl -fsS -X POST -d '{"seed":9}' "http://$daddr/checkpoints" > "$tmp/simd-cp2.json"
+cpid2="$(sed -n 's/.*"id": "\(cp[0-9]*\)".*/\1/p' "$tmp/simd-cp2.json")"
+curl -fsS "http://$daddr/checkpoints/$cpid2" > "$tmp/simd-cp-b.json"
+diff "$tmp/simd-cp-a.json" "$tmp/simd-cp-b.json" || {
+    echo "mip6simd smoke: re-warmed checkpoint artifact differs across processes" >&2
+    exit 1
+}
+stop_daemon
+echo "mip6simd smoke: cache hit, disk persistence across restart, fork clean, checkpoint artifact byte-stable"
