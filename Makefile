@@ -47,8 +47,8 @@ check: build vet race
 bench:
 	$(GO) test -json -run '^$$' -benchmem -benchtime 15s \
 		-bench 'BenchmarkFigure1Macro|BenchmarkScaleTopology|BenchmarkShardedTimeline|BenchmarkEngineComparison|BenchmarkTelemetryOverhead' \
-		./bench > BENCH_PR9.json
+		./bench > BENCH_PR10.json
 	$(GO) test -json -run '^$$' -benchmem \
-		-bench 'BenchmarkLinkDelivery|BenchmarkMulticastFanout|BenchmarkImpairmentFanout|BenchmarkFragmentationPath|BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding|BenchmarkHandleOps|BenchmarkRampAmortization' \
-		./internal/netem ./internal/sim ./internal/obs ./internal/telemetry ./bench . >> BENCH_PR9.json
-	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR9.json | sed 's/"Output":"//;s/\\n$$//' || true
+		-bench 'BenchmarkLinkDelivery|BenchmarkMulticastFanout|BenchmarkImpairmentFanout|BenchmarkFragmentationPath|BenchmarkStep|BenchmarkNilRecorderHooks|BenchmarkObsOverhead|BenchmarkSteadyStateForwarding|BenchmarkHandleOps|BenchmarkRampAmortization|BenchmarkApproachComparison' \
+		./internal/netem ./internal/sim ./internal/obs ./internal/telemetry ./bench . >> BENCH_PR10.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_PR10.json | sed 's/"Output":"//;s/\\n$$//' || true

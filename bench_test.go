@@ -120,7 +120,10 @@ func BenchmarkF5SubOptionCodec(b *testing.B) {
 	}
 }
 
-func BenchmarkT1FourApproaches(b *testing.B) {
+// BenchmarkApproachComparison regenerates the T1 movement-scenario table
+// across every registered approach (the paper's four plus the proxy
+// hierarchy) and reports each one's rejoin delay.
+func BenchmarkApproachComparison(b *testing.B) {
 	var rows []T1Row
 	for i := 0; i < b.N; i++ {
 		opt := FastMLDOptions(30)

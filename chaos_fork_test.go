@@ -18,7 +18,7 @@ func TestChaosCellForkFromWarmCheckpoint(t *testing.T) {
 	opt.Seed = 11
 
 	// Cold reference: the cell's full timeline in one piece.
-	cold := runChaosOne(opt, chaosMatrix()[1], "") // loss-10
+	cold := runChaosOne(opt, LocalMembership, chaosMatrix()[1], "") // loss-10
 
 	// Warm the shared prefix once and checkpoint it.
 	warm := StartChaos(opt)

@@ -19,7 +19,7 @@ func TestChurnInvariants(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long churn run")
 	}
-	for _, approach := range FourApproaches() {
+	for _, approach := range Approaches() {
 		approach := approach
 		t.Run(approach.String(), func(t *testing.T) {
 			r := NewRun(FastMLDOptions(20), approach, 100*time.Millisecond, 64)

@@ -378,8 +378,9 @@ func parseTopoSpec(spec string) (exp.Params, error) {
 			}
 			p[key] = f
 		case "approach":
-			if val != "local" && val != "tunnel" {
-				return nil, fmt.Errorf("-topo: approach %q (want local or tunnel)", val)
+			if _, ok := mip6mcast.ApproachByName(val); !ok {
+				return nil, fmt.Errorf("-topo: unknown approach %q (registered: %v)",
+					val, mip6mcast.ApproachNames())
 			}
 			p[key] = val
 		case "engine":

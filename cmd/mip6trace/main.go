@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		approachName = flag.String("approach", "bidir", "local | bidir | mn2ha | ha2mn")
+		approachName = flag.String("approach", "bidir", "local | bidir | mn2ha | ha2mn, or any registered approach name/alias (e.g. proxy)")
 		kinds        = flag.String("kinds", "", "comma-separated event kinds to keep (empty = all)")
 		duration     = flag.Duration("duration", 150*time.Second, "total virtual time")
 		moveReceiver = flag.Duration("move-receiver", 30*time.Second, "when R3 moves to Link 6 (0 = never)")
@@ -57,6 +57,9 @@ func main() {
 		return
 	}
 
+	// Legacy short names keep working; anything else resolves through the
+	// approach registry, so proxy-hierarchy (and future registrations)
+	// trace without this map growing.
 	approach, ok := map[string]mip6mcast.Approach{
 		"local": mip6mcast.LocalMembership,
 		"bidir": mip6mcast.BidirectionalTunnel,
@@ -64,7 +67,11 @@ func main() {
 		"ha2mn": mip6mcast.UniTunnelHAToMN,
 	}[*approachName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown approach %q\n", *approachName)
+		approach, ok = mip6mcast.ApproachByName(*approachName)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown approach %q (want local, bidir, mn2ha, ha2mn, or a registered name: %s)\n",
+			*approachName, strings.Join(core.ApproachNames(), ", "))
 		os.Exit(2)
 	}
 	if *format != "text" && *format != "jsonl" && *format != "perfetto" {
@@ -109,6 +116,12 @@ func main() {
 	opt.Seed = *seed
 	opt.HostMLD = core.RecommendedHostMLD(approach, opt.HostMLD)
 	opt.Instrument = *schedStats
+	if approach.Receive == core.ReceiveProxy && opt.ProxyDepth == 0 {
+		// Proxy builds need a domain plan; depth 2 peels Figure 1 into
+		// its edge domains (the experiment harness applies the same
+		// default).
+		opt.ProxyDepth = 2
+	}
 	f := scenario.NewFigure1(opt)
 
 	kindFilter := func(e trace.Event) bool { return keep == nil || keep[e.Kind] }

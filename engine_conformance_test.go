@@ -136,7 +136,7 @@ func TestEngineThreadedThroughOutcomes(t *testing.T) {
 	opt := chaosTune(FastMLDOptions(10))
 	opt.Engine = "hpimdm"
 	opt.Seed = 3
-	out := runChaosOne(opt, chaosCell{name: "baseline"}, "")
+	out := runChaosOne(opt, LocalMembership, chaosCell{name: "baseline"}, "")
 	if out.Engine != "hpimdm" {
 		t.Errorf("ChaosOutcome.Engine = %q, want hpimdm", out.Engine)
 	}

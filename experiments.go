@@ -39,13 +39,15 @@ type F1Result struct {
 // RunF1 reproduces Figure 1: all hosts at home, S streaming to the group;
 // PIM-DM floods, prunes Links 5/6, and settles on the L1–L4 tree.
 //
-// Compatibility shim over the "f1" registry entry (see internal/exp).
+// Compatibility shim over the "f1" registry entry (see internal/exp),
+// which also measures the proxy-hierarchy build; this returns the flat
+// (paper) one.
 func RunF1(opt Options) F1Result {
-	return mustRunExp("f1", exp.Context{Opt: opt}, nil).Artifact.(F1Result)
+	return mustRunExp("f1", exp.Context{Opt: opt}, nil).Artifact.([2]F1Result)[0]
 }
 
-func measureF1(opt Options) F1Result {
-	r := NewRun(opt, LocalMembership, 100*time.Millisecond, 64)
+func measureF1(opt Options, approach Approach) F1Result {
+	r := NewRun(opt, approach, 100*time.Millisecond, 64)
 	l5 := r.WatchLink("L5")
 	l6 := r.WatchLink("L6")
 	for _, n := range scenario.LinkNames() {
@@ -92,18 +94,19 @@ type F2Result struct {
 // the next MLD Query.
 //
 // Compatibility shim over the "f2" registry entry, which measures both
-// report policies; this picks the requested one.
+// report policies plus the proxy hierarchy; this picks the requested
+// report policy.
 func RunF2(opt Options, unsolicitedReports bool) F2Result {
-	both := mustRunExp("f2", exp.Context{Opt: opt}, nil).Artifact.([2]F2Result)
+	all := mustRunExp("f2", exp.Context{Opt: opt}, nil).Artifact.([3]F2Result)
 	if unsolicitedReports {
-		return both[0]
+		return all[0]
 	}
-	return both[1]
+	return all[1]
 }
 
-func measureF2(opt Options, unsolicitedReports bool) F2Result {
+func measureF2(opt Options, unsolicitedReports bool, approach Approach) F2Result {
 	opt.HostMLD.ResendOnMove = unsolicitedReports
-	r := NewRun(opt, LocalMembership, 100*time.Millisecond, 64)
+	r := NewRun(opt, approach, 100*time.Millisecond, 64)
 	l4 := r.WatchLink("L4")
 	// Run past the MLD startup-query phase so the no-unsolicited join path
 	// waits for a regular periodic Query, as the paper's analysis assumes.
@@ -150,7 +153,8 @@ type F3Result struct {
 // selects the paper's §4.3.2 signaling mechanism.
 //
 // Compatibility shim over the "f3" registry entry, which measures both
-// variants; this picks the requested one.
+// variants (plus a proxy-hierarchy contrast row); this picks the
+// requested tunnel variant.
 func RunF3(opt Options, variant HAVariant) F3Result {
 	both := mustRunExp("f3", exp.Context{Opt: opt}, nil).Artifact.(map[HAVariant]F3Result)
 	return both[variant]
@@ -159,6 +163,13 @@ func RunF3(opt Options, variant HAVariant) F3Result {
 func measureF3(opt Options, variant HAVariant) F3Result {
 	approach := UniTunnelHAToMN
 	approach.Variant = variant
+	return measureF3Run(opt, approach)
+}
+
+// measureF3Run drives the Figure 3 timeline (R3 moves L4→L1) under any
+// receive approach; the proxy-hierarchy contrast row reuses it with
+// tunnel-free metrics naturally reading zero.
+func measureF3Run(opt Options, approach Approach) F3Result {
 	r := NewRun(opt, approach, 100*time.Millisecond, 64)
 	r.F.Run(30 * time.Second)
 
@@ -201,13 +212,14 @@ type F4Result struct {
 // S sends locally and PIM-DM builds a new tree).
 //
 // Compatibility shim over the "f4" registry entry, which measures both
-// send modes; this picks the requested one.
+// send modes plus the proxy hierarchy; this picks the requested send
+// mode.
 func RunF4(opt Options, sendTunnel bool) F4Result {
-	both := mustRunExp("f4", exp.Context{Opt: opt}, nil).Artifact.([2]F4Result)
+	all := mustRunExp("f4", exp.Context{Opt: opt}, nil).Artifact.([3]F4Result)
 	if sendTunnel {
-		return both[0]
+		return all[0]
 	}
-	return both[1]
+	return all[1]
 }
 
 func measureF4(opt Options, sendTunnel bool) F4Result {
@@ -215,6 +227,13 @@ func measureF4(opt Options, sendTunnel bool) F4Result {
 	if sendTunnel {
 		approach = UniTunnelMNToHA
 	}
+	return measureF4Run(opt, approach)
+}
+
+// measureF4Run drives the Figure 4 timeline (S moves to L6) under any
+// approach; the proxy-hierarchy row sends locally from below proxy E,
+// which up-forwards to the anchor instead of re-flooding from scratch.
+func measureF4Run(opt Options, approach Approach) F4Result {
 	r := NewRun(opt, approach, 100*time.Millisecond, 64)
 	peak := 0
 	sim.NewTicker(r.F.Sched, time.Second, 0, func() {

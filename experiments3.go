@@ -51,7 +51,7 @@ func MultiGroupAddr(i int) ipv6.Addr {
 // Compatibility shim over the "smg" registry entry.
 func RunSMG(opt Options, counts []int) []SMGPoint {
 	res := mustRunExp("smg", exp.Context{Opt: opt},
-		exp.Params{"groups": counts, "tquery": 0})
+		exp.Params{"groups": counts, "tquery": 0, "approach": "uni-tunnel-ha-to-mn"})
 	out := make([]SMGPoint, len(res.Stats))
 	for i, pt := range res.Stats {
 		out[i] = pt.Raw[0].(SMGPoint)
@@ -59,9 +59,9 @@ func RunSMG(opt Options, counts []int) []SMGPoint {
 	return out
 }
 
-func runSMGOne(opt Options, nGroups int) SMGPoint {
-	approach := UniTunnelHAToMN
+func runSMGOne(opt Options, nGroups int, approach Approach) SMGPoint {
 	opt.HostMLD = core.RecommendedHostMLD(approach, opt.HostMLD)
+	opt = defaultProxyDepth(opt, approach)
 	f := scenario.NewFigure1(opt)
 
 	// HA services everywhere (PIM-enabled HAs).

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mip6mcast/internal/check"
+	"mip6mcast/internal/core"
 	"mip6mcast/internal/exp"
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/mld"
@@ -126,10 +127,18 @@ const ChaosWarmTime = 15 * time.Second
 // ChaosWarmTime. The returned run is the fork point: hand it to
 // RunChaosCell to drive one impairment cell to its verdict.
 func StartChaos(opt Options) *Run {
+	return StartChaosWith(opt, LocalMembership)
+}
+
+// StartChaosWith is StartChaos under any approach whose members receive
+// on the visited link (local membership or the proxy hierarchy) — the
+// matrix's invariant checks model local reception, so tunnel-receiving
+// approaches are rejected up front by runExpChaos.
+func StartChaosWith(opt Options, approach Approach) *Run {
 	if opt.Obs == nil {
 		opt.Obs = obs.NewRecorder(nil)
 	}
-	r := NewRun(opt, LocalMembership, 200*time.Millisecond, 256)
+	r := NewRun(opt, approach, 200*time.Millisecond, 256)
 	r.F.Run(ChaosWarmTime)
 	return r
 }
@@ -159,8 +168,8 @@ func RunChaosCell(r *Run, cell, tracedir string) (ChaosOutcome, error) {
 // runChaosOne drives one timeline: settle (0–15 s), impaired churn
 // (15–75 s: leave/rejoin, two moves, optional flap and crash), heal at
 // 75 s, quiesce to 150 s, then check invariants.
-func runChaosOne(opt Options, cell chaosCell, tracedir string) ChaosOutcome {
-	return finishChaos(StartChaos(opt), cell, tracedir)
+func runChaosOne(opt Options, approach Approach, cell chaosCell, tracedir string) ChaosOutcome {
+	return finishChaos(StartChaosWith(opt, approach), cell, tracedir)
 }
 
 // finishChaos takes a warmed run at ChaosWarmTime through one cell's
@@ -252,7 +261,7 @@ func finishChaos(r *Run, cell chaosCell, tracedir string) ChaosOutcome {
 		out.Corrupted += l.CorruptedDeliveries
 	}
 	if tracedir != "" {
-		out.TracePath = writeChaosTrace(tracedir, out.Engine, cell.name, opt.Seed, rec)
+		out.TracePath = writeChaosTrace(tracedir, out.Engine, r.Approach.String(), cell.name, opt.Seed, rec)
 	}
 	return out
 }
@@ -260,18 +269,22 @@ func finishChaos(r *Run, cell chaosCell, tracedir string) ChaosOutcome {
 // writeChaosTrace exports one timeline's JSONL trace. The file name embeds
 // the cell and seed, so reruns with different worker counts produce the
 // same file set with identical bytes — the determinism artifact the CI
-// smoke diffs. Non-default engines get an engine tag in the name so an
-// engine-comparison run never collides with the default file set. Returns
+// smoke diffs. Non-default engines and approaches get tags in the name so
+// a comparison run never collides with the default file set. Returns
 // "" on I/O failure (the experiment result still carries the violations;
 // tracing is best-effort).
-func writeChaosTrace(dir, eng, cell string, seed int64, rec *obs.Recorder) string {
+func writeChaosTrace(dir, eng, approach, cell string, seed int64, rec *obs.Recorder) string {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return ""
 	}
-	name := fmt.Sprintf("chaos-%s-seed%d.jsonl", cell, seed)
+	tag := ""
 	if eng != "pimdm" {
-		name = fmt.Sprintf("chaos-%s-%s-seed%d.jsonl", eng, cell, seed)
+		tag = eng + "-"
 	}
+	if approach != "local-membership" {
+		tag += approach + "-"
+	}
+	name := fmt.Sprintf("chaos-%s%s-seed%d.jsonl", tag, cell, seed)
 	path := filepath.Join(dir, name)
 	w, err := os.Create(path)
 	if err != nil {
@@ -292,6 +305,10 @@ func writeChaosTrace(dir, eng, cell string, seed int64, rec *obs.Recorder) strin
 
 func runExpChaos(ctx exp.Context, p exp.Params) exp.Result {
 	ctx.Opt = applyEngine(chaosTune(ctx.Opt), p)
+	approach := applyApproach(p)
+	if approach.Receive == core.ReceiveHomeTunnel {
+		panic(fmt.Sprintf("chaos: approach %q receives via the home-agent tunnel; the matrix's invariants model local reception (use local-membership or proxy-hierarchy)", approach))
+	}
 	tracedir := p.Str("tracedir")
 	cells := chaosMatrix()
 	points := make([]string, len(cells))
@@ -302,7 +319,7 @@ func runExpChaos(ctx exp.Context, p exp.Params) exp.Result {
 		Points:  points,
 		Columns: []string{"violations", "conv(s)", "deliv-R1", "deliv-R3", "pim(KB)", "lost", "dup"},
 		Run: func(opt scenario.Options, pt int) (map[string]float64, any) {
-			res := runChaosOne(opt, cells[pt], tracedir)
+			res := runChaosOne(opt, approach, cells[pt], tracedir)
 			return map[string]float64{
 				"violations": float64(len(res.Violations)),
 				"conv(s)":    res.ConvTime,

@@ -138,6 +138,10 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 		opt.Obs = rec
 	}
 	opt.HostMLD = core.RecommendedHostMLD(cfg.approach, opt.HostMLD)
+	// Under the proxy approach the generated topology peels its own proxy
+	// domains (grids and meshes may peel none and degenerate to flat
+	// local membership — an honest outcome the result rows then show).
+	opt = defaultProxyDepth(opt, cfg.approach)
 
 	var mnHosts, srcHosts []*scenario.Host
 	f := scenario.Build(g, opt, func(f *scenario.Network) {
@@ -308,7 +312,7 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 	// topology size (1 s up to 32 routers) to keep measurement overhead off
 	// the macro benchmarks; conv(s) resolution coarsens accordingly.
 	sampleOK := func() bool {
-		if cfg.approach.Receive == ReceiveLocal {
+		if cfg.approach.Receive != core.ReceiveHomeTunnel {
 			e := check.Expectation{Source: srcHosts[0].MN.HomeAddress, Group: Group, Members: members}
 			return len(check.Converged(f, e)) == 0
 		}
@@ -337,11 +341,12 @@ func runScaleOne(opt Options, cell scaleCell, cfg scaleConfig) ScaleOutcome {
 	}
 
 	// Convergence invariants. The full Converged contract (link demand ==
-	// local MLD membership) models local receiving; under the tunnel
-	// approach away members receive via their home agent instead, so only
-	// the approach-independent graft liveness is asserted there.
+	// local MLD membership, proxy-tree consistency included) models local
+	// and proxy receiving; under the tunnel approach away members receive
+	// via their home agent instead, so only the approach-independent
+	// graft liveness is asserted there.
 	var vs []check.Violation
-	if cfg.approach.Receive == ReceiveLocal {
+	if cfg.approach.Receive != core.ReceiveHomeTunnel {
 		for si, h := range srcHosts {
 			e := check.Expectation{Source: h.MN.HomeAddress, Group: Group, Members: members}
 			if si == 0 {
@@ -450,14 +455,7 @@ func runExpScale(ctx exp.Context, p exp.Params) exp.Result {
 	if err != nil {
 		panic("scale: " + err.Error())
 	}
-	approach := LocalMembership
-	switch a := p.Str("approach"); a {
-	case "local":
-	case "tunnel":
-		approach = BidirectionalTunnel
-	default:
-		panic(fmt.Sprintf("scale: unknown approach %q (want local or tunnel)", a))
-	}
+	approach := applyApproach(p)
 	cfg := scaleConfig{
 		sources:    p.Int("sources"),
 		memberFrac: p.Float("members"),

@@ -143,8 +143,8 @@ func TestT1FourApproaches(t *testing.T) {
 		t.Skip("long comparison run")
 	}
 	rows := RunT1(FastMLDOptions(30))
-	if len(rows) != 4 {
-		t.Fatalf("rows = %d", len(rows))
+	if len(rows) != len(Approaches()) {
+		t.Fatalf("rows = %d, want one per registered approach (%d)", len(rows), len(Approaches()))
 	}
 	byName := map[string]T1Row{}
 	for _, r := range rows {
@@ -154,6 +154,20 @@ func TestT1FourApproaches(t *testing.T) {
 	bidir := byName["bidir-tunnel"]
 	mn2ha := byName["uni-tunnel-mn-to-ha"]
 	ha2mn := byName["uni-tunnel-ha-to-mn"]
+	proxy := byName["proxy-hierarchy"]
+
+	// Approach #5: members receive on the visited link through the proxy
+	// tree — no tunnel bytes, no home-agent forwarding load, and R3's
+	// L4→L6 move stays inside anchor D's domain.
+	if proxy.TunnelBytes != 0 {
+		t.Errorf("proxy hierarchy spent %d tunnel bytes", proxy.TunnelBytes)
+	}
+	if proxy.HALoad != 0 {
+		t.Errorf("proxy hierarchy loaded the home agents with %d packets", proxy.HALoad)
+	}
+	if proxy.LossR3 > 400 {
+		t.Errorf("proxy hierarchy lost %d of %d datagrams at R3", proxy.LossR3, 4200)
+	}
 
 	// Paper §4.3.2: "the most important advantage ... a mobile receiver
 	// does not experience any significant join delay".

@@ -13,6 +13,17 @@ import (
 
 func secs(n int) time.Duration { return time.Duration(n) * time.Second }
 
+// defaultProxyDepth gives proxy-hierarchy builds a plan when the caller
+// did not configure one: depth 2 peels Figure 1 (and any tree-shaped
+// procedural topology) into its edge proxy domains via
+// topo.AutoProxyDomains. Non-proxy approaches pass through untouched.
+func defaultProxyDepth(opt scenario.Options, approach Approach) scenario.Options {
+	if approach.Receive == core.ReceiveProxy && opt.ProxyDepth == 0 {
+		opt.ProxyDepth = 2
+	}
+	return opt
+}
+
 // Run is one assembled experiment instance: the Figure 1 network with the
 // core services attached under a single approach, a CBR source at host S,
 // and delivery probes on the receivers.
@@ -71,6 +82,7 @@ func (w *LinkWatch) FramesBetween(from, to sim.Time) int {
 // service (so its send mode follows the approach).
 func NewRun(opt scenario.Options, approach Approach, cbrInterval time.Duration, cbrSize int) *Run {
 	opt.HostMLD = core.RecommendedHostMLD(approach, opt.HostMLD)
+	opt = defaultProxyDepth(opt, approach)
 	f := scenario.NewFigure1(opt)
 	r := &Run{
 		F:        f,

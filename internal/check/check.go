@@ -19,13 +19,15 @@ import (
 	"mip6mcast/internal/obs"
 	"mip6mcast/internal/scenario"
 	"mip6mcast/internal/sim"
+	"mip6mcast/internal/topo"
 )
 
 // Violation is one invariant breach.
 type Violation struct {
 	// Invariant identifies the broken property: "black-hole", "leak",
 	// "zombie-sg", "zombie-mld", "zombie-binding", "missing-binding",
-	// "graft-pending", "graft-unanswered".
+	// "graft-pending", "graft-unanswered", "proxy-fwd-set",
+	// "zombie-proxy", "missing-proxy", "proxy-upstream".
 	Invariant string
 	// Node is the router or host the violation is attributed to ("" when
 	// it is a link/tree-level property).
@@ -62,7 +64,64 @@ func Converged(f *scenario.Network, exp Expectation) []Violation {
 	out = append(out, ForwardingSet(f, exp)...)
 	out = append(out, NoZombies(f, exp)...)
 	out = append(out, GraftsResolved(f)...)
+	out = append(out, ProxyTree(f, exp)...)
 	return out
+}
+
+// proxyNodes returns the build's proxy plan nodes (empty map when the
+// proxy subsystem is disabled).
+func proxyNodes(f *scenario.Network) map[string]topo.ProxyNodeSpec {
+	if f.Proxy.Empty() {
+		return map[string]topo.ProxyNodeSpec{}
+	}
+	return f.Proxy.Nodes
+}
+
+// extendProxyDemand folds proxy subtree demand into the per-link demand
+// map, bottom-up (deepest proxies first): a proxy whose downstream
+// links carry demand — from member hosts, node-local (home-agent)
+// members, or a deeper proxy's upstream join — is itself an MLD member
+// on its upstream link, which is ground truth the parent's listener
+// state and the anchor's forwarding set are checked against.
+func extendProxyDemand(f *scenario.Network, group ipv6.Addr, demand map[string]bool) {
+	proxies := proxyNodes(f)
+	if len(proxies) == 0 {
+		return
+	}
+	names := make([]string, 0, len(proxies))
+	for rn := range proxies {
+		names = append(names, rn)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		di, dj := proxies[names[i]].Depth, proxies[names[j]].Depth
+		if di != dj {
+			return di > dj
+		}
+		return names[i] < names[j]
+	})
+	for _, rn := range names {
+		spec := proxies[rn]
+		want := f.Routers[rn].Engine.HasLocalMember(group)
+		for _, d := range spec.Downstream {
+			if demand[d] {
+				want = true
+				break
+			}
+		}
+		if want {
+			demand[spec.Upstream] = true
+		}
+	}
+}
+
+// proxyEntry finds a proxy's aggregate (*,G) entry for group.
+func proxyEntry(r *scenario.Router, group ipv6.Addr) (engine.SGInfo, bool) {
+	for _, info := range r.Engine.Entries() {
+		if info.Source.IsUnspecified() && info.Group == group {
+			return info, true
+		}
+	}
+	return engine.SGInfo{}, false
 }
 
 // linkDemand computes, per link name, whether any member host currently
@@ -111,13 +170,25 @@ func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
 		return []Violation{{Invariant: "black-hole", Detail: "source " + exp.Source.String() + " is not on any link"}}
 	}
 	demand := linkDemand(f, exp)
+	extendProxyDemand(f, exp.Group, demand)
+	proxies := proxyNodes(f)
 
 	// Precompute each router's RPF link toward the source and, per link,
 	// which routers pull their (S,G) feed from it (their RPF points there).
+	// A proxy has no RPF: its data plane is fixed by its tree position, so
+	// it registers as a puller on every one of its links and is expanded
+	// by the data-plane rule below instead of its (nonexistent) PIM state.
 	routers := f.RouterOrder()
 	rpf := make(map[string]string, len(routers))
-	pullers := map[string][]string{} // link name -> routers with that RPF link
+	pullers := map[string][]string{} // link name -> routers fed from it
 	for _, rn := range routers {
+		if spec, isP := proxies[rn]; isP {
+			pullers[spec.Upstream] = append(pullers[spec.Upstream], rn)
+			for _, d := range spec.Downstream {
+				pullers[d] = append(pullers[d], rn)
+			}
+			continue
+		}
 		ln := rpfLinkOf(f, f.Routers[rn], exp.Source)
 		rpf[rn] = ln
 		if ln != "" {
@@ -139,6 +210,11 @@ func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
 		}
 	}
 	for _, rn := range routers {
+		if _, isP := proxies[rn]; isP {
+			// Proxy demand is already folded into the demand map (its
+			// upstream join is member demand on that link).
+			continue
+		}
 		r := f.Routers[rn]
 		if r.Engine.HasLocalMember(exp.Group) {
 			markNeed(rn)
@@ -171,6 +247,9 @@ func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
 				if !nb.IsRouter || nb.Name == dn || rpf[nb.Name] == feed {
 					continue
 				}
+				if _, isP := proxies[nb.Name]; isP {
+					continue // proxies do not pull PIM feeds
+				}
 				markNeed(nb.Name)
 			}
 		}
@@ -185,6 +264,32 @@ func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
 	for _, rn := range routers {
 		if need[rn] && rpf[rn] != "" {
 			justified[rpf[rn]] = true
+		}
+	}
+	// A source inside a proxy domain is forwarded upstream unconditionally
+	// (RFC 4605 has no prune): the whole chain of upstream links from its
+	// serving proxy to the anchor carries the data, demanded or not.
+	if len(proxies) > 0 {
+		cur := srcLink.Name
+		for hops := 0; hops <= len(proxies); hops++ {
+			next := ""
+			for _, rn := range routers {
+				spec, isP := proxies[rn]
+				if !isP {
+					continue
+				}
+				for _, d := range spec.Downstream {
+					if d == cur {
+						next = spec.Upstream
+						break
+					}
+				}
+			}
+			if next == "" {
+				break
+			}
+			justified[next] = true
+			cur = next
 		}
 	}
 
@@ -202,6 +307,30 @@ func ForwardingSet(f *scenario.Network, exp Expectation) []Violation {
 		for _, rn := range pullers[ln] {
 			r := f.Routers[rn]
 			var fwd []string
+			if spec, isP := proxies[rn]; isP {
+				// Data-plane rule: downward traffic replicates onto the
+				// member downstream links; subtree traffic additionally
+				// goes upstream unconditionally. No flood fallback — a
+				// proxy without aggregated state forwards nothing down.
+				info, ok := proxyEntry(r, exp.Group)
+				if ln != spec.Upstream {
+					fwd = append(fwd, spec.Upstream)
+				}
+				if ok {
+					for _, d := range info.ForwardingOn {
+						if d != ln {
+							fwd = append(fwd, d)
+						}
+					}
+				}
+				for _, next := range fwd {
+					if !delivered[next] {
+						delivered[next] = true
+						links = append(links, next)
+					}
+				}
+				continue
+			}
 			if info, ok := findEntry(r, exp.Source, exp.Group); ok {
 				// An upstream-pruned entry stops the flow here: data no
 				// longer reaches this router, so nothing continues.
@@ -254,10 +383,16 @@ func findEntry(r *scenario.Router, src, group ipv6.Addr) (engine.SGInfo, bool) {
 func NoZombies(f *scenario.Network, exp Expectation) []Violation {
 	var out []Violation
 
+	proxies := proxyNodes(f)
+
 	// (S,G) entries must agree with the (static) routing domain: an entry
 	// whose recorded upstream is not the router's current RPF link is a
-	// relic of a dead incarnation or a forged message.
+	// relic of a dead incarnation or a forged message. Proxy routers hold
+	// (*,G) aggregates, not PIM state — ProxyTree owns their checks.
 	for _, rn := range f.RouterOrder() {
+		if _, isP := proxies[rn]; isP {
+			continue
+		}
 		r := f.Routers[rn]
 		for _, info := range r.Engine.Entries() {
 			want := rpfLinkOf(f, r, info.Source)
@@ -271,12 +406,22 @@ func NoZombies(f *scenario.Network, exp Expectation) []Violation {
 		}
 	}
 
-	// MLD listener state must match ground truth per link.
+	// MLD listener state must match ground truth per link. Proxy joins on
+	// upstream links are ground-truth demand too (the parent's listener
+	// record for a joined proxy is correct, not a zombie), so the demand
+	// map is extended with subtree demand before comparing. A proxy's own
+	// upstream interface runs the host role with the router role disabled —
+	// it keeps no listener state there, so that interface is skipped.
 	demand := linkDemand(f, exp)
+	extendProxyDemand(f, exp.Group, demand)
 	for _, rn := range f.RouterOrder() {
 		r := f.Routers[rn]
+		spec, isP := proxies[rn]
 		for _, ifc := range r.Node.Ifaces {
 			if ifc.Link == nil {
+				continue
+			}
+			if isP && ifc.Link.Name == spec.Upstream {
 				continue
 			}
 			has := r.MLD.HasListeners(ifc, exp.Group)
@@ -398,6 +543,101 @@ func GraftLiveness(events []obs.Event, retry time.Duration, slack time.Duration,
 		}
 	}
 	return out
+}
+
+// ProxyTree asserts the proxy-hierarchy invariants over every proxy in
+// the build's plan (a no-op when the subsystem is disabled): each proxy's
+// aggregate (*,G) forwarding set equals the union of its downstream
+// memberships, aggregate state exists exactly when the subtree demands
+// the group (no zombie aggregates after the last member leaves, no
+// missing aggregates while demand persists), and the aggregate's
+// upstream matches the plan's tree position.
+func ProxyTree(f *scenario.Network, exp Expectation) []Violation {
+	proxies := proxyNodes(f)
+	if len(proxies) == 0 {
+		return nil
+	}
+	demand := linkDemand(f, exp)
+	extendProxyDemand(f, exp.Group, demand)
+	var out []Violation
+	for _, rn := range f.RouterOrder() {
+		spec, isP := proxies[rn]
+		if !isP {
+			continue
+		}
+		r := f.Routers[rn]
+		// Union of downstream memberships per the proxy's own MLD router
+		// state (the router role stays active on downstream interfaces).
+		var want []string
+		for _, ifc := range r.Node.Ifaces {
+			if ifc.Link == nil || ifc.Link.Name == spec.Upstream {
+				continue
+			}
+			if r.MLD.HasListeners(ifc, exp.Group) {
+				want = append(want, ifc.Link.Name)
+			}
+		}
+		sort.Strings(want)
+
+		// Ground-truth subtree demand: a demanded downstream link (member
+		// host or deeper proxy join) or a node-local (HA) member.
+		truth := r.Engine.HasLocalMember(exp.Group)
+		for _, d := range spec.Downstream {
+			if demand[d] {
+				truth = true
+			}
+		}
+
+		info, ok := proxyEntry(r, exp.Group)
+		if !ok {
+			if truth {
+				out = append(out, Violation{
+					Invariant: "missing-proxy", Node: rn,
+					Detail: fmt.Sprintf("subtree demands %s but no aggregate (*,G) state exists", exp.Group),
+				})
+			}
+			if len(want) > 0 {
+				out = append(out, Violation{
+					Invariant: "proxy-fwd-set", Node: rn,
+					Detail: fmt.Sprintf("downstream memberships %v for %s but no aggregate entry", want, exp.Group),
+				})
+			}
+			continue
+		}
+		if !truth {
+			out = append(out, Violation{
+				Invariant: "zombie-proxy", Node: rn,
+				Detail: fmt.Sprintf("aggregate (*,%s) survives with no downstream membership or local member", exp.Group),
+			})
+		}
+		got := append([]string(nil), info.ForwardingOn...)
+		sort.Strings(got)
+		if !equalStrings(got, want) {
+			out = append(out, Violation{
+				Invariant: "proxy-fwd-set", Node: rn,
+				Detail: fmt.Sprintf("(*,%s) forwards on %v but downstream memberships are %v", exp.Group, got, want),
+			})
+		}
+		if info.Upstream != spec.Upstream {
+			out = append(out, Violation{
+				Invariant: "proxy-upstream", Node: rn,
+				Detail: fmt.Sprintf("(*,%s) upstream %q but the plan says %q", exp.Group, info.Upstream, spec.Upstream),
+			})
+		}
+	}
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Format renders violations one per line (for logs and test failures).

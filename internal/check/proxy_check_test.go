@@ -1,0 +1,131 @@
+package check_test
+
+import (
+	"testing"
+	"time"
+
+	"mip6mcast/internal/check"
+	"mip6mcast/internal/netem"
+	"mip6mcast/internal/scenario"
+)
+
+func proxyFig1(t *testing.T) *scenario.Network {
+	t.Helper()
+	opt := scenario.DefaultOptions()
+	opt.ProxyDepth = 2
+	f := scenario.NewFigure1(opt)
+	if f.Proxy.Empty() {
+		t.Fatal("no proxy plan")
+	}
+	return f
+}
+
+// TestConvergedProxyCleanNetwork runs the full invariant set over the
+// proxy-hierarchy build: R1 sits below proxy A (L1), R3 on the anchor
+// link L4, the source's LAN is itself a proxy downstream link — so the
+// data path exercises proxy up-forwarding, anchor PIM transit, and
+// proxy-tree replication, and the checker must find nothing wrong.
+func TestConvergedProxyCleanNetwork(t *testing.T) {
+	f := proxyFig1(t)
+	f.Settle()
+	for _, name := range []string{"R1", "R3"} {
+		h := f.Hosts[name]
+		h.MLD.Join(h.Iface, scenario.Group)
+	}
+	f.Run(2 * time.Second)
+	drive(f, 20, 500*time.Millisecond)
+
+	exp := check.Expectation{
+		Source:  f.Hosts["S"].MN.HomeAddress,
+		Group:   scenario.Group,
+		Members: map[string]bool{"R1": true, "R3": true},
+	}
+	if vs := check.Converged(f, exp); len(vs) != 0 {
+		t.Fatalf("clean proxy network reports violations:\n%s", check.Format(vs))
+	}
+}
+
+// TestConvergedProxyMemberBelowProxy moves R3 under proxy E (L6): the
+// join must aggregate up through E onto L5, graft D's tree, and the
+// eventual leave must tear all of it down — no zombie aggregate on E, no
+// zombie listener on D, no leaked forwarding on L5/L6.
+func TestConvergedProxyMemberBelowProxy(t *testing.T) {
+	f := proxyFig1(t)
+	f.Settle()
+	for _, name := range []string{"R1", "R3"} {
+		h := f.Hosts[name]
+		h.MLD.Join(h.Iface, scenario.Group)
+	}
+	f.Run(2 * time.Second)
+	drive(f, 10, 500*time.Millisecond)
+
+	// Scenario-level move (no core.Service doing the leave/rejoin dance):
+	// leave L4 explicitly so its listener record decays on the last-
+	// listener rounds instead of the full 260 s listener interval.
+	h := f.Hosts["R3"]
+	h.MLD.Leave(h.Iface, scenario.Group)
+	drive(f, 10, 500*time.Millisecond)
+	f.Move("R3", "L6")
+	h.MLD.Join(h.Iface, scenario.Group)
+	f.Run(2 * time.Second)
+	drive(f, 20, 500*time.Millisecond)
+
+	exp := check.Expectation{
+		Source:  f.Hosts["S"].MN.HomeAddress,
+		Group:   scenario.Group,
+		Members: map[string]bool{"R1": true, "R3": true},
+	}
+	if vs := check.Converged(f, exp); len(vs) != 0 {
+		t.Fatalf("member below proxy reports violations:\n%s", check.Format(vs))
+	}
+
+	h.MLD.Leave(h.Iface, scenario.Group)
+	drive(f, 20, 500*time.Millisecond)
+
+	exp.Members = map[string]bool{"R1": true}
+	if vs := check.Converged(f, exp); len(vs) != 0 {
+		t.Fatalf("post-leave proxy network reports violations:\n%s", check.Format(vs))
+	}
+}
+
+// TestProxyTreeDetectsForgedState injects a listener-change event into
+// proxy E's engine with no backing MLD listener record or member host:
+// the resulting aggregate (and its forwarding onto L6) is state nobody
+// asked for, and the checker must flag it rather than excuse it.
+func TestProxyTreeDetectsForgedState(t *testing.T) {
+	f := proxyFig1(t)
+	f.Settle()
+	h := f.Hosts["R1"]
+	h.MLD.Join(h.Iface, scenario.Group)
+	f.Run(2 * time.Second)
+	drive(f, 10, 500*time.Millisecond)
+
+	var l6 *netem.Interface
+	for _, ifc := range f.Routers["E"].Node.Ifaces {
+		if ifc.Link != nil && ifc.Link.Name == "L6" {
+			l6 = ifc
+		}
+	}
+	f.Routers["E"].Engine.HandleListenerChange(l6, scenario.Group, true)
+	drive(f, 20, 500*time.Millisecond)
+
+	exp := check.Expectation{
+		Source:  f.Hosts["S"].MN.HomeAddress,
+		Group:   scenario.Group,
+		Members: map[string]bool{"R1": true},
+	}
+	vs := check.Converged(f, exp)
+	var zombie, fwdSet bool
+	for _, v := range vs {
+		if v.Invariant == "zombie-proxy" && v.Node == "E" {
+			zombie = true
+		}
+		if v.Invariant == "proxy-fwd-set" && v.Node == "E" {
+			fwdSet = true
+		}
+	}
+	if !zombie || !fwdSet {
+		t.Fatalf("forged aggregate not flagged (zombie=%v fwd=%v):\n%s",
+			zombie, fwdSet, check.Format(vs))
+	}
+}

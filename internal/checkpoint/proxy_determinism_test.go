@@ -1,0 +1,218 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"mip6mcast/internal/obs"
+	"mip6mcast/internal/scenario"
+	"mip6mcast/internal/sim"
+	"mip6mcast/internal/topo"
+)
+
+// fig1ProxyProgram is fig1Program with the hierarchical MLD-proxy
+// subsystem enabled (depth 2 peels A and E into edge proxy domains
+// anchored at B and D). R3's 12 s handover L4→L6 stays inside D's
+// domain, so the run exercises the anchor-local path; the 22 s return
+// crosses back the same way.
+func fig1ProxyProgram(engineName string, seed int64, rec *obs.Recorder) *scenario.Network {
+	opt := scenario.DefaultOptions()
+	opt.Engine = engineName
+	opt.Seed = seed
+	opt.ProxyDepth = 2
+	opt.Obs = rec
+	f := scenario.NewFigure1(opt)
+	f.At(sim.Time(2*time.Second), func() {
+		for _, name := range []string{"R1", "R2", "R3"} {
+			h := f.Hosts[name]
+			h.MLD.Join(h.Iface, scenario.Group)
+		}
+	})
+	f.SamplePeriodic(500*time.Millisecond, func() {
+		f.SendLocalMulticast("S", scenario.Group, []byte("beacon"))
+	})
+	f.At(sim.Time(12*time.Second), func() { f.Move("R3", "L6") })
+	f.At(sim.Time(22*time.Second), func() { f.Move("R3", "L4") })
+	return f
+}
+
+// The determinism guarantee extends to mixed engine sets: a Figure 1
+// run where A and E are mldproxy members and the core routers run the
+// PIM engine checkpoints mid-flight and restores with a byte-identical
+// tail, for both core engines.
+func TestProxyCheckpointTailByteIdentical(t *testing.T) {
+	const (
+		mid = sim.Time(15 * time.Second)
+		end = sim.Time(30 * time.Second)
+	)
+	for _, eng := range []string{"pimdm", "hpimdm"} {
+		t.Run(eng, func(t *testing.T) {
+			recA := obs.NewRecorder(nil)
+			fA := fig1ProxyProgram(eng, 42, recA)
+			fA.RunUntil(end)
+			if fA.Proxy.Empty() || fA.ProxyOf("E") == nil {
+				t.Fatal("proxy subsystem not active in the reference run")
+			}
+			if local, _ := fA.HandoverCounts(); local < 1 {
+				t.Fatalf("reference run counted %d anchor-local handovers, want ≥1", local)
+			}
+
+			recB := obs.NewRecorder(nil)
+			fB := fig1ProxyProgram(eng, 42, recB)
+			fB.RunUntil(mid)
+			cp := Capture(fB, Meta{Experiment: "fig1-proxy", Seed: 42, Engine: eng})
+
+			// The capture must contain the proxy members' own engine
+			// checkpoints, stamped with the mldproxy engine name.
+			proxies := 0
+			for _, rcp := range cp.Engines {
+				if rcp.Engine == "mldproxy" {
+					proxies++
+				}
+			}
+			if proxies != 2 {
+				t.Fatalf("checkpoint holds %d mldproxy engine snapshots, want 2 (A and E)", proxies)
+			}
+
+			var recC *obs.Recorder
+			fC, err := Restore(cp, func() (*scenario.Network, error) {
+				recC = obs.NewRecorder(nil)
+				f := fig1ProxyProgram(eng, 42, recC)
+				f.RunUntil(cp.Time)
+				return f, nil
+			})
+			if err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			fC.RunUntil(end)
+
+			want := tailJSONL(t, recA.Events(), cp.Time)
+			got := tailJSONL(t, recC.Events(), cp.Time)
+			if len(got) == 0 {
+				t.Fatal("restored proxy run recorded no events after the checkpoint")
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("restored proxy tail diverged:\nwant %d bytes, got %d bytes\nfirst want line: %s\nfirst got line:  %s",
+					len(want), len(got), firstLine(want), firstLine(got))
+			}
+
+			// The 22 s return handover happens after the checkpoint: the
+			// restored run must count it on the same (anchor-local) path.
+			la, ha := fA.HandoverCounts()
+			lc, hc := fC.HandoverCounts()
+			if la != lc || ha != hc {
+				t.Fatalf("handover counts diverged: reference %d/%d, restored %d/%d", la, ha, lc, hc)
+			}
+		})
+	}
+}
+
+// shardedProxyProgram is shardedProgram with ProxyDepth=2 on a random
+// tree (whose pendant routers the depth-2 peel turns into proxy
+// domains), so edge routers run mldproxy inside a 4-shard parallel
+// kernel.
+func shardedProxyProgram(t *testing.T, seed int64, workers int, rec *obs.Recorder) *scenario.Network {
+	t.Helper()
+	g, err := topo.FromSpec("tree", 40, 7)
+	if err != nil {
+		t.Fatalf("FromSpec: %v", err)
+	}
+	lanI, lanJ := -1, -1
+	for li, l := range g.Links {
+		if !l.LAN {
+			continue
+		}
+		if lanI < 0 {
+			lanI = li
+		} else {
+			lanJ = li
+			break
+		}
+	}
+	if lanJ < 0 {
+		t.Skip("generated graph has fewer than two LANs")
+	}
+	home, away := g.Links[lanI].Name, g.Links[lanJ].Name
+
+	opt := scenario.DefaultOptions()
+	opt.Seed = seed
+	opt.Shards = 4
+	opt.ShardWorkers = workers
+	opt.CoreLinkDelay = 5 * time.Millisecond
+	opt.MobilityGroups = [][]int{{lanI, lanJ}}
+	opt.ProxyDepth = 2
+	opt.Obs = rec
+	f := scenario.Build(g, opt)
+	if f.Part == nil || f.Part.N < 2 {
+		t.Skip("graph collapsed to a single region")
+	}
+	if f.Proxy.Empty() {
+		t.Skip("depth-2 peel found no proxy domains in the generated graph")
+	}
+
+	f.AddHost("mn0", home, 0xaa01)
+	f.AddHost("rx0", away, 0xbb01)
+	f.At(sim.Time(2*time.Second), func() {
+		h := f.Hosts["rx0"]
+		h.MLD.Join(h.Iface, scenario.Group)
+	})
+	f.SamplePeriodic(500*time.Millisecond, func() {
+		f.SendLocalMulticast("mn0", scenario.Group, []byte("beacon"))
+	})
+	f.At(sim.Time(10*time.Second), func() { f.Move("mn0", away) })
+	f.At(sim.Time(18*time.Second), func() { f.Move("mn0", home) })
+	return f
+}
+
+// The sharded kernel preserves the proxy guarantee too: checkpoint at a
+// barrier, restore with a different worker count, byte-identical tail.
+func TestShardedProxyCheckpointTailByteIdentical(t *testing.T) {
+	const (
+		mid = sim.Time(12 * time.Second)
+		end = sim.Time(24 * time.Second)
+	)
+	recA := obs.NewRecorder(nil)
+	fA := shardedProxyProgram(t, 7, 1, recA)
+	fA.RunUntil(end)
+
+	recB := obs.NewRecorder(nil)
+	fB := shardedProxyProgram(t, 7, 1, recB)
+	fB.RunUntil(mid)
+	cp := Capture(fB, Meta{Experiment: "ba-sharded-proxy", Seed: 7, Shards: 4})
+	if len(cp.Regions) < 2 {
+		t.Fatalf("sharded proxy checkpoint captured %d regions", len(cp.Regions))
+	}
+	proxies := 0
+	for _, rcp := range cp.Engines {
+		if rcp.Engine == "mldproxy" {
+			proxies++
+		}
+	}
+	if proxies == 0 {
+		t.Fatal("sharded checkpoint holds no mldproxy engine snapshots")
+	}
+
+	var recC *obs.Recorder
+	fC, err := Restore(cp, func() (*scenario.Network, error) {
+		recC = obs.NewRecorder(nil)
+		// More workers than the original run: must not change the timeline.
+		f := shardedProxyProgram(t, 7, 4, recC)
+		f.RunUntil(cp.Time)
+		return f, nil
+	})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	fC.RunUntil(end)
+
+	want := tailJSONL(t, recA.Events(), cp.Time)
+	got := tailJSONL(t, recC.Events(), cp.Time)
+	if len(got) == 0 {
+		t.Fatal("restored sharded proxy run recorded no events after the checkpoint")
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("sharded proxy restored tail diverged:\nwant %d bytes, got %d bytes\nfirst want line: %s\nfirst got line:  %s",
+			len(want), len(got), firstLine(want), firstLine(got))
+	}
+}

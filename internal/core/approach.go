@@ -35,6 +35,13 @@ const (
 	// ReceiveHomeTunnel keeps group membership at the home agent, which
 	// tunnels group traffic to the care-of address (approach B).
 	ReceiveHomeTunnel
+	// ReceiveProxy joins via MLD on the visited link like ReceiveLocal,
+	// but the visited link belongs to a hierarchical MLD-proxy domain
+	// (approach #5, M-HMIPv6-style): proxy routers aggregate the
+	// membership up to the domain's mobility anchor, so intra-domain
+	// handovers re-join against the anchor's already-established state
+	// and never touch the home agent or the wider PIM tree.
+	ReceiveProxy
 )
 
 // HAVariant selects how membership reaches the home agent when receiving
@@ -74,9 +81,83 @@ var (
 	// UniTunnelHAToMN: send locally, receive through the home agent
 	// (approach 4).
 	UniTunnelHAToMN = Approach{Send: SendLocal, Receive: ReceiveHomeTunnel}
+	// ProxyHierarchy: send locally, receive via a hierarchical
+	// MLD-proxy domain anchored at a mobility anchor point (approach 5,
+	// beyond the paper; ROADMAP item 3).
+	ProxyHierarchy = Approach{Send: SendLocal, Receive: ReceiveProxy}
 )
 
+// approachEntry is one registry slot: the approach plus its canonical
+// name and lookup aliases.
+type approachEntry struct {
+	approach Approach
+	name     string
+	aliases  []string
+}
+
+// approachRegistry holds the comparable approaches in paper numbering
+// (1–4), followed by registration order for later additions.
+var approachRegistry = []approachEntry{
+	{LocalMembership, "local-membership", []string{"local"}},
+	{BidirectionalTunnel, "bidir-tunnel", []string{"tunnel"}},
+	{UniTunnelMNToHA, "uni-tunnel-mn-to-ha", nil},
+	{UniTunnelHAToMN, "uni-tunnel-ha-to-mn", nil},
+	{ProxyHierarchy, "proxy-hierarchy", []string{"proxy"}},
+}
+
+// RegisterApproach adds an approach to the registry under a canonical
+// name plus optional lookup aliases. The built-in five register
+// implicitly; this exists so future approaches (e.g. Helmy's
+// multicast-based mobility) slot into every comparison experiment
+// without touching them.
+func RegisterApproach(name string, a Approach, aliases ...string) {
+	if _, ok := ApproachByName(name); ok {
+		panic("core: approach " + name + " already registered")
+	}
+	approachRegistry = append(approachRegistry, approachEntry{a, name, aliases})
+}
+
+// Approaches returns every registered approach in paper numbering
+// (1–4, then registration order). Experiments iterate this the way
+// scenario engines iterate RegisterEngine entries.
+func Approaches() []Approach {
+	out := make([]Approach, len(approachRegistry))
+	for i, e := range approachRegistry {
+		out[i] = e.approach
+	}
+	return out
+}
+
+// ApproachNames returns the canonical approach names in registry order.
+func ApproachNames() []string {
+	out := make([]string, len(approachRegistry))
+	for i, e := range approachRegistry {
+		out[i] = e.name
+	}
+	return out
+}
+
+// ApproachByName resolves a canonical name or alias ("local",
+// "tunnel", "proxy") to its approach.
+func ApproachByName(name string) (Approach, bool) {
+	for _, e := range approachRegistry {
+		if e.name == name {
+			return e.approach, true
+		}
+		for _, al := range e.aliases {
+			if al == name {
+				return e.approach, true
+			}
+		}
+	}
+	return Approach{}, false
+}
+
 // FourApproaches returns the paper's Table 1 in its numbering.
+//
+// Deprecated: use Approaches, which also includes approaches added
+// beyond the paper's four (the proxy hierarchy, and any registered via
+// RegisterApproach).
 func FourApproaches() []Approach {
 	return []Approach{LocalMembership, BidirectionalTunnel, UniTunnelMNToHA, UniTunnelHAToMN}
 }
@@ -84,6 +165,8 @@ func FourApproaches() []Approach {
 // String names the approach as the paper does.
 func (a Approach) String() string {
 	switch {
+	case a.Receive == ReceiveProxy:
+		return "proxy-hierarchy"
 	case a.Send == SendLocal && a.Receive == ReceiveLocal:
 		return "local-membership"
 	case a.Send == SendHomeTunnel && a.Receive == ReceiveHomeTunnel:

@@ -18,14 +18,31 @@ func TestApproachNamesAndTable(t *testing.T) {
 	if len(four) != 4 {
 		t.Fatal("not four approaches")
 	}
+	all := core.Approaches()
+	if len(all) < 5 {
+		t.Fatalf("registry has %d approaches, want the paper's four plus the proxy hierarchy", len(all))
+	}
 	names := map[string]bool{}
-	for _, a := range four {
+	for _, a := range all {
 		names[a.String()] = true
 	}
-	for _, want := range []string{"local-membership", "bidir-tunnel", "uni-tunnel-mn-to-ha", "uni-tunnel-ha-to-mn"} {
+	for _, want := range []string{"local-membership", "bidir-tunnel", "uni-tunnel-mn-to-ha", "uni-tunnel-ha-to-mn", "proxy-hierarchy"} {
 		if !names[want] {
 			t.Errorf("missing approach %q; got %v", want, names)
 		}
+	}
+	for i, a := range four {
+		if all[i] != a {
+			t.Errorf("Approaches()[%d] = %v, want the paper's numbering prefix %v", i, all[i], a)
+		}
+	}
+	for _, alias := range []string{"local", "tunnel", "proxy", "proxy-hierarchy"} {
+		if _, ok := core.ApproachByName(alias); !ok {
+			t.Errorf("alias %q does not resolve", alias)
+		}
+	}
+	if _, ok := core.ApproachByName("nope"); ok {
+		t.Error("unknown name resolved")
 	}
 	if core.LocalMembership.Send != core.SendLocal || core.LocalMembership.Receive != core.ReceiveLocal {
 		t.Error("LocalMembership modes wrong")

@@ -59,7 +59,7 @@ func NewService(mn *mipv6.MobileNode, mldHost *mld.Host, approach Approach, time
 // unsolicited re-Reports on movement only make sense when receiving
 // locally.
 func RecommendedHostMLD(a Approach, base mld.HostConfig) mld.HostConfig {
-	base.ResendOnMove = base.ResendOnMove && a.Receive == ReceiveLocal
+	base.ResendOnMove = base.ResendOnMove && a.Receive != ReceiveHomeTunnel
 	return base
 }
 
@@ -82,7 +82,7 @@ func (svc *Service) Join(group ipv6.Addr) {
 	svc.groups[group] = true
 	svc.maybeFallBack()
 	switch {
-	case svc.Approach.Receive == ReceiveLocal || svc.MN.AtHome():
+	case svc.Approach.Receive != ReceiveHomeTunnel || svc.MN.AtHome():
 		// Local membership (also the degenerate tunnel case at home).
 		svc.MLD.Join(svc.MN.Iface, group)
 		if svc.Approach.Receive == ReceiveHomeTunnel && svc.Approach.Variant == VariantGroupListBU {

@@ -32,7 +32,8 @@ type Router struct {
 	// Obs, when non-nil, records listener and querier state transitions.
 	Obs *obs.Recorder
 
-	state map[*netem.Interface]*routerIfaceState
+	state    map[*netem.Interface]*routerIfaceState
+	disabled map[*netem.Interface]bool
 
 	// Stats.
 	QueriesSent  uint64
@@ -68,6 +69,7 @@ type routerIfaceState struct {
 	ifc *netem.Interface
 
 	querier      bool
+	disabled     bool
 	otherQuerier *sim.Timer // Other-Querier-Present timer
 	queryTicker  *sim.Ticker
 	startupLeft  int
@@ -95,7 +97,7 @@ func NewRouter(node *netem.Node, cfg Config) *Router {
 }
 
 func (r *Router) startIface(ifc *netem.Interface) {
-	if r.closed {
+	if r.closed || r.disabled[ifc] {
 		return
 	}
 	if _, ok := r.state[ifc]; ok {
@@ -159,7 +161,7 @@ func (st *routerIfaceState) obsGroupTrack(group ipv6.Addr) string {
 }
 
 func (st *routerIfaceState) periodicQuery() {
-	if !st.querier || !st.ifc.Up() {
+	if st.disabled || !st.querier || !st.ifc.Up() {
 		return
 	}
 	st.sendGeneralQuery()
@@ -356,6 +358,32 @@ func (r *Router) Groups(ifc *netem.Interface) []ipv6.Addr {
 func (r *Router) IsQuerier(ifc *netem.Interface) bool {
 	st, ok := r.state[ifc]
 	return ok && st.querier
+}
+
+// Disable removes the router role from one interface permanently: all
+// timers for it stop, its listener records are dropped without
+// listener-change notifications, and the role will not restart on
+// re-attachment. An MLD proxy calls this on its upstream interface,
+// where it performs only the host portion of the protocol (RFC 4605
+// §4.2) — leaving the router role active there would contest the
+// querier election against the upstream router.
+func (r *Router) Disable(ifc *netem.Interface) {
+	if r.disabled == nil {
+		r.disabled = map[*netem.Interface]bool{}
+	}
+	r.disabled[ifc] = true
+	st, ok := r.state[ifc]
+	if !ok {
+		return
+	}
+	st.disabled = true
+	st.otherQuerier.Stop()
+	st.queryTicker.Stop()
+	for _, rec := range st.groups {
+		rec.expiry.Stop()
+		rec.retransmit.Stop()
+	}
+	delete(r.state, ifc)
 }
 
 // InjectListener force-adds (or refreshes) a listener record, exactly as if

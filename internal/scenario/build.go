@@ -154,6 +154,22 @@ func Build(g *topo.Graph, opt Options, populate ...func(*Network)) *Network {
 	}
 	f.Dom.Recompute()
 
+	// Hierarchical MLD-proxy plan (approach #5). Explicit graph
+	// designations win; otherwise domains are peeled automatically up to
+	// the configured depth. Resolved before any router's protocol stack
+	// starts, because startRouterProtocols consults it per router.
+	if opt.ProxyDepth > 0 {
+		doms := g.ProxyDomains
+		if len(doms) == 0 {
+			doms = topo.AutoProxyDomains(g, opt.ProxyDepth)
+		}
+		plan, err := topo.BuildProxyPlan(g, doms)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: %v", err))
+		}
+		f.Proxy = plan
+	}
+
 	for _, name := range f.routerOrder {
 		f.startRouterProtocols(name)
 	}

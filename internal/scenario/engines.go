@@ -6,6 +6,7 @@ import (
 
 	"mip6mcast/internal/engine"
 	"mip6mcast/internal/hpimdm"
+	"mip6mcast/internal/ipv6"
 	"mip6mcast/internal/netem"
 	"mip6mcast/internal/pimdm"
 )
@@ -56,6 +57,28 @@ func buildEngine(node *netem.Node, opt Options, rt engine.UnicastRouting) engine
 		panic(fmt.Sprintf("scenario: unknown multicast engine %q (registered: %v)", opt.EngineName(), EngineNames()))
 	}
 	return b(node, opt, rt)
+}
+
+// proxyStubRouting wraps a core router's unicast table in proxy-hierarchy
+// builds: an RPF lookup that resolves through an intra-domain link reports
+// no upstream neighbor, because the only routers there are MLD proxies,
+// which speak no PIM. The engine then treats such sources exactly like
+// directly-attached ones — it never prunes or grafts into the void (the
+// proxy up-forwards unconditionally anyway) and originates State Refresh
+// as the first multicast router above the domain.
+type proxyStubRouting struct {
+	engine.UnicastRouting
+	linkDomain map[string]string
+}
+
+func (p proxyStubRouting) RPFInterface(src ipv6.Addr) (*netem.Interface, ipv6.Addr, bool) {
+	ifc, nbr, ok := p.UnicastRouting.RPFInterface(src)
+	if ok && ifc != nil && ifc.Link != nil {
+		if _, in := p.linkDomain[ifc.Link.Name]; in {
+			nbr = ipv6.Addr{}
+		}
+	}
+	return ifc, nbr, ok
 }
 
 func init() {

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"mip6mcast/internal/engine"
@@ -10,6 +11,7 @@ import (
 	"mip6mcast/internal/metrics"
 	"mip6mcast/internal/mipv6"
 	"mip6mcast/internal/mld"
+	"mip6mcast/internal/mldproxy"
 	"mip6mcast/internal/ndp"
 	"mip6mcast/internal/netem"
 	"mip6mcast/internal/obs"
@@ -72,6 +74,14 @@ type Options struct {
 	// panics across regions). Scale experiments pass the partition's
 	// LinkRegion to topo.GenWorkload so churn stays region-confined.
 	MobilityGroups [][]int
+	// ProxyDepth, when > 0, enables the hierarchical MLD-proxy subsystem
+	// (approach #5): proxy domains come from the graph's explicit
+	// ProxyDomains designation, or are derived by topo.AutoProxyDomains
+	// with this peel depth when the graph designates none. Member routers
+	// then run internal/mldproxy instead of a PIM engine, with their MLD
+	// router role disabled on the upstream link. 0 disables the subsystem
+	// entirely — builds and traces are unchanged from previous releases.
+	ProxyDepth int
 
 	// Obs, when non-nil, is bound to the network's scheduler and attached
 	// to every protocol engine and link: state-machine transitions and
@@ -203,6 +213,14 @@ type Network struct {
 	// whose links are all LANs). Part is the region assignment it runs.
 	Kern *sim.Kernel
 	Part *topo.Partition
+	// Proxy is the resolved MLD-proxy plan (nil or empty when
+	// Options.ProxyDepth is 0 or the graph yields no domains).
+	Proxy *topo.ProxyPlan
+
+	// Handover classification counters (atomic: region events move hosts
+	// in parallel). Meaningful only when Proxy is non-empty.
+	anchorLocalHandovers uint64
+	homeRoutedHandovers  uint64
 
 	regionScheds []*sim.Scheduler  // region index -> scheduler; nil sequential
 	linkOrder    []string          // link names in construction order
@@ -310,11 +328,40 @@ func NewFigure1(opt Options) *Network {
 func (f *Network) startRouterProtocols(name string) {
 	r := f.Routers[name]
 	opt := f.Opt
-	r.Engine = buildEngine(r.Node, opt, f.Dom.TableOf(r.Node))
+	spec, isProxy := f.ProxySpec(name)
+	if isProxy {
+		px, err := mldproxy.New(r.Node, mldproxy.Config{
+			Upstream:   spec.Upstream,
+			Downstream: spec.Downstream,
+			Anchor:     spec.Anchor,
+			Depth:      spec.Depth,
+			HostMLD:    opt.HostMLD,
+		})
+		if err != nil {
+			panic(err)
+		}
+		r.Engine = px
+	} else {
+		rt := engine.UnicastRouting(f.Dom.TableOf(r.Node))
+		if !f.Proxy.Empty() {
+			rt = proxyStubRouting{rt, f.Proxy.LinkDomain}
+		}
+		r.Engine = buildEngine(r.Node, opt, rt)
+	}
 	r.MLD = mld.NewRouter(r.Node, opt.MLD)
 	eng := r.Engine
 	r.MLD.OnListenerChange = func(ev mld.ListenerEvent) {
 		eng.HandleListenerChange(ev.Iface, ev.Group, ev.Present)
+	}
+	if isProxy {
+		// A proxy performs only the host portion of MLD on its upstream
+		// interface (RFC 4605 §4.2); the router role there would contest
+		// the querier election against the parent.
+		for _, ifc := range r.Node.Ifaces {
+			if ifc.Link != nil && ifc.Link.Name == spec.Upstream {
+				r.MLD.Disable(ifc)
+			}
+		}
 	}
 	r.NDP = ndp.NewRouter(r.Node, opt.NDP, func(ifc *netem.Interface) (ipv6.Addr, bool) {
 		return f.Dom.PrefixOf(ifc.Link)
@@ -511,8 +558,51 @@ func (f *Network) TryMove(host, link string) error {
 			"list both in the same Options.MobilityGroups entry so the partition keeps the host's roaming domain in one region",
 			host, cur, link)
 	}
+	if !f.Proxy.Empty() {
+		from := ""
+		if h.Iface.Link != nil {
+			from = h.Iface.Link.Name
+		}
+		// Anchor-local: both links lie inside the same proxy domain, so
+		// the re-join terminates at the domain's anchor (or an inner
+		// proxy) and the home agent never hears about it.
+		if a := f.Proxy.LinkDomain[from]; a != "" && a == f.Proxy.LinkDomain[link] {
+			atomic.AddUint64(&f.anchorLocalHandovers, 1)
+		} else {
+			atomic.AddUint64(&f.homeRoutedHandovers, 1)
+		}
+	}
 	f.Net.Move(h.Iface, dst)
 	return nil
+}
+
+// ProxySpec returns the named router's proxy-tree position when the
+// build's proxy plan designates it a proxy member.
+func (f *Network) ProxySpec(name string) (topo.ProxyNodeSpec, bool) {
+	if f.Proxy.Empty() {
+		return topo.ProxyNodeSpec{}, false
+	}
+	spec, ok := f.Proxy.Nodes[name]
+	return spec, ok
+}
+
+// ProxyOf returns the mldproxy instance running on the named router
+// (nil for anchors, non-members, and proxy-disabled builds).
+func (f *Network) ProxyOf(name string) *mldproxy.Proxy {
+	r, ok := f.Routers[name]
+	if !ok || r.Engine == nil {
+		return nil
+	}
+	px, _ := r.Engine.(*mldproxy.Proxy)
+	return px
+}
+
+// HandoverCounts returns how many handovers stayed inside one proxy
+// domain (anchor-local) versus crossed a domain boundary or involved
+// non-domain links (home-routed). Both are zero when the proxy
+// subsystem is disabled.
+func (f *Network) HandoverCounts() (anchorLocal, homeRouted uint64) {
+	return atomic.LoadUint64(&f.anchorLocalHandovers), atomic.LoadUint64(&f.homeRoutedHandovers)
 }
 
 // Run advances the simulation by d.

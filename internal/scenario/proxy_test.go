@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProxyPlanDisabledByDefault(t *testing.T) {
+	f := NewFigure1(DefaultOptions())
+	if !f.Proxy.Empty() {
+		t.Fatalf("ProxyDepth=0 built a plan: %+v", f.Proxy)
+	}
+	if f.ProxyOf("A") != nil {
+		t.Fatal("A runs a proxy engine without a plan")
+	}
+}
+
+func TestProxyBuildFigure1(t *testing.T) {
+	opt := DefaultOptions()
+	opt.ProxyDepth = 2
+	f := NewFigure1(opt)
+	if f.Proxy.Empty() {
+		t.Fatal("no proxy plan at depth 2")
+	}
+	for _, name := range []string{"A", "E"} {
+		px := f.ProxyOf(name)
+		if px == nil {
+			t.Fatalf("%s is not running the proxy engine", name)
+		}
+		if px.Name() != "mldproxy" {
+			t.Fatalf("%s engine = %q", name, px.Name())
+		}
+	}
+	for _, name := range []string{"B", "C", "D"} {
+		if f.ProxyOf(name) != nil {
+			t.Fatalf("core router %s runs a proxy engine", name)
+		}
+		if _, ok := f.ProxySpec(name); ok {
+			t.Fatalf("core router %s has a proxy spec", name)
+		}
+	}
+	spec, ok := f.ProxySpec("E")
+	if !ok || spec.Upstream != "L5" || spec.Anchor != "D" {
+		t.Fatalf("E spec = %+v ok=%v", spec, ok)
+	}
+	// The network must run cleanly with the mixed engine set.
+	f.Run(30 * time.Second)
+}
+
+func TestProxyHandoverClassification(t *testing.T) {
+	opt := DefaultOptions()
+	opt.ProxyDepth = 2
+	f := NewFigure1(opt)
+	f.Run(2 * time.Second)
+
+	assertCounts := func(wantLocal, wantHome uint64) {
+		t.Helper()
+		local, home := f.HandoverCounts()
+		if local != wantLocal || home != wantHome {
+			t.Fatalf("handovers local=%d home=%d, want %d/%d", local, home, wantLocal, wantHome)
+		}
+	}
+	assertCounts(0, 0)
+
+	// L4 and L5 both lie inside D's domain: anchor-local.
+	f.Move("R3", "L5")
+	assertCounts(1, 0)
+	f.Run(time.Second)
+
+	// L5 (domain D) to L1 (domain B) crosses anchors: home-routed.
+	f.Move("R3", "L1")
+	assertCounts(1, 1)
+	f.Run(time.Second)
+
+	// L1 (domain B) to the backbone L3 (no domain): home-routed.
+	f.Move("R3", "L3")
+	assertCounts(1, 2)
+
+	// Without a plan the counters stay untouched.
+	f2 := NewFigure1(DefaultOptions())
+	f2.Run(2 * time.Second)
+	f2.Move("R3", "L5")
+	if l, h := f2.HandoverCounts(); l != 0 || h != 0 {
+		t.Fatalf("plan-less run counted handovers: %d/%d", l, h)
+	}
+}

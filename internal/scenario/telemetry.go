@@ -147,6 +147,32 @@ func attachTelemetry(f *Network) {
 		gTun.Set(tun)
 	})
 
+	// Proxy-hierarchy series, only when a plan is active (keeps the series
+	// layout — and golden traces — of proxy-disabled builds unchanged).
+	if !f.Proxy.Empty() {
+		reg.Gauge("proxy/tree_depth", func() float64 {
+			return float64(f.Proxy.MaxDepth)
+		})
+		gPAgg := reg.Gauge("proxy/aggregated_entries", nil)
+		gPAggHW := reg.Gauge("proxy/aggregated_high_water", nil)
+		gPLocal := reg.Gauge("proxy/anchor_local_handovers", nil)
+		gPHome := reg.Gauge("proxy/home_routed_handovers", nil)
+		reg.OnSample(func() {
+			var agg, aggHW float64
+			for _, rn := range f.routerOrder {
+				if px := f.ProxyOf(rn); px != nil {
+					agg += float64(px.EntryCount())
+					aggHW += float64(px.AggregatedHighWater())
+				}
+			}
+			gPAgg.Set(agg)
+			gPAggHW.Set(aggHW)
+			local, home := f.HandoverCounts()
+			gPLocal.Set(float64(local))
+			gPHome.Set(float64(home))
+		})
+	}
+
 	if f.obs != nil {
 		reg.Mirror(f.obs, "telemetry")
 	}

@@ -42,6 +42,10 @@ type Graph struct {
 	// Links[i], or -1 for links without one (core links). A LAN must
 	// have a designated home agent attached to it.
 	HomeAgent []int
+	// ProxyDomains optionally designates hierarchical MLD-proxy domains
+	// (see ProxyDomain). Empty means none designated; builders may then
+	// derive domains with AutoProxyDomains when an approach needs them.
+	ProxyDomains []ProxyDomain
 }
 
 // LANs returns the indices of all LAN links, in link order.
@@ -146,6 +150,13 @@ func (g *Graph) Validate() error {
 	}
 	if !g.Connected() {
 		return fmt.Errorf("topo %q: router graph not connected", g.Name)
+	}
+	if len(g.ProxyDomains) > 0 {
+		// Structural proxy-domain validation (tree shape and link
+		// coverage are BuildProxyPlan's job).
+		if _, err := BuildProxyPlan(g, g.ProxyDomains); err != nil {
+			return err
+		}
 	}
 	return nil
 }

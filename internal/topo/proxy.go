@@ -1,0 +1,277 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ProxyDomain designates one hierarchical MLD-proxy domain (a mobility
+// anchor point in the M-HMIPv6 sense): the anchor router keeps its full
+// multicast routing engine and represents the whole domain to the PIM
+// tree, while the member routers run only the MLD-proxy function —
+// aggregating listener state upward and forwarding group traffic down
+// without per-router PIM state.
+type ProxyDomain struct {
+	Anchor  int   // router index of the anchor (keeps its PIM engine)
+	Members []int // router indices of the proxy members, anchor excluded
+}
+
+// AutoProxyDomains derives proxy domains from the router graph by
+// iteratively peeling pendant routers: a router adjacent to exactly one
+// other unpeeled router can safely become a proxy, because all of its
+// links then attach only routers of its own domain — the residual PIM
+// graph stays connected and no multicast transit path crosses a proxy.
+// depth bounds the number of peel rounds, i.e. the maximum proxy-tree
+// depth below an anchor. Candidates are evaluated against the
+// start-of-round state, so the result is deterministic and independent
+// of iteration order; within a round a candidate whose would-be parent
+// was already peeled this round is deferred (lower index peels first),
+// which both breaks mutual pendant pairs and guarantees at least one
+// router stays unpeeled.
+//
+// Topologies without pendant routers (grids, dense preferential-
+// attachment graphs) yield no domains: the proxy-hierarchy approach
+// then degenerates to plain local membership, which callers should
+// surface rather than hide.
+func AutoProxyDomains(g *Graph, depth int) []ProxyDomain {
+	n := len(g.Routers)
+	if n < 2 || depth <= 0 {
+		return nil
+	}
+	// Router adjacency via shared links.
+	adj := make([]map[int]bool, n)
+	for ri := range g.Routers {
+		adj[ri] = map[int]bool{}
+	}
+	for li := range g.Links {
+		on := g.RoutersOn(li)
+		for _, a := range on {
+			for _, b := range on {
+				if a != b {
+					adj[a][b] = true
+				}
+			}
+		}
+	}
+	peeled := make([]bool, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	peelOrder := []int{}
+	for round := 0; round < depth; round++ {
+		// Unpeeled-neighbor counts from the start-of-round state.
+		type cand struct{ router, parent int }
+		var cands []cand
+		for ri := 0; ri < n; ri++ {
+			if peeled[ri] {
+				continue
+			}
+			up := -1
+			cnt := 0
+			for nb := range adj[ri] {
+				if !peeled[nb] {
+					cnt++
+					up = nb
+				}
+			}
+			if cnt == 1 {
+				cands = append(cands, cand{ri, up})
+			}
+		}
+		accepted := map[int]bool{}
+		progress := false
+		for _, c := range cands { // ascending router index
+			if accepted[c.parent] {
+				continue // parent peels this round; defer to a later round
+			}
+			accepted[c.router] = true
+			peeled[c.router] = true
+			parent[c.router] = c.parent
+			peelOrder = append(peelOrder, c.router)
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	// Group peeled routers by their ultimate (unpeeled) anchor.
+	anchorOf := func(ri int) int {
+		for peeled[ri] {
+			ri = parent[ri]
+		}
+		return ri
+	}
+	byAnchor := map[int][]int{}
+	for _, ri := range peelOrder {
+		a := anchorOf(ri)
+		byAnchor[a] = append(byAnchor[a], ri)
+	}
+	anchors := make([]int, 0, len(byAnchor))
+	for a := range byAnchor {
+		anchors = append(anchors, a)
+	}
+	sort.Ints(anchors)
+	out := make([]ProxyDomain, 0, len(anchors))
+	for _, a := range anchors {
+		members := byAnchor[a]
+		sort.Ints(members)
+		out = append(out, ProxyDomain{Anchor: a, Members: members})
+	}
+	return out
+}
+
+// ProxyNodeSpec is one member router's place in its domain's proxy
+// tree, as computed by BuildProxyPlan: which link leads up toward the
+// anchor and which links it serves downstream.
+type ProxyNodeSpec struct {
+	Router string // member router name
+	Anchor string // domain anchor name
+	// Upstream is the link toward the anchor (the proxy's host-mode
+	// interface, RFC 4605 §4.2).
+	Upstream string
+	// Downstream lists the proxy's served links in interface order: its
+	// MLD router role runs there and aggregated traffic is replicated
+	// onto the members among them.
+	Downstream []string
+	// Depth is the hop count below the anchor (1 = directly attached).
+	Depth int
+}
+
+// ProxyPlan is the fully-resolved proxy configuration for one graph:
+// per-member tree positions plus the link→domain map used to classify
+// handovers as anchor-local or home-routed.
+type ProxyPlan struct {
+	// Nodes maps member router name → its tree position.
+	Nodes map[string]ProxyNodeSpec
+	// LinkDomain maps link name → anchor name for links lying entirely
+	// inside one domain (every attached router is the anchor or a
+	// member). Links absent from the map cross domain boundaries or lie
+	// outside any domain.
+	LinkDomain map[string]string
+	// Anchors lists the domain anchor names, sorted.
+	Anchors []string
+	// MaxDepth is the deepest proxy-tree level across all domains.
+	MaxDepth int
+}
+
+// Empty reports whether the plan designates no proxies at all.
+func (p *ProxyPlan) Empty() bool { return p == nil || len(p.Nodes) == 0 }
+
+// BuildProxyPlan validates the domain designations against the graph
+// and resolves each domain into a proxy tree: members are discovered
+// breadth-first from the anchor over shared links (router-index order,
+// so the result is deterministic), each member's discovery link becomes
+// its upstream, and its remaining links its downstream set. It is an
+// error for a member's link to attach any router outside its own
+// domain — that would put a proxy on a multicast transit path.
+func BuildProxyPlan(g *Graph, doms []ProxyDomain) (*ProxyPlan, error) {
+	plan := &ProxyPlan{Nodes: map[string]ProxyNodeSpec{}, LinkDomain: map[string]string{}}
+	if len(doms) == 0 {
+		return plan, nil
+	}
+	role := make([]int, len(g.Routers)) // -1 free, else domain index
+	for i := range role {
+		role[i] = -1
+	}
+	for di, d := range doms {
+		if d.Anchor < 0 || d.Anchor >= len(g.Routers) {
+			return nil, fmt.Errorf("topo %q: proxy domain %d anchor index %d out of range", g.Name, di, d.Anchor)
+		}
+		if role[d.Anchor] != -1 {
+			return nil, fmt.Errorf("topo %q: router %q in two proxy domains", g.Name, g.Routers[d.Anchor].Name)
+		}
+		role[d.Anchor] = di
+		for _, m := range d.Members {
+			if m < 0 || m >= len(g.Routers) {
+				return nil, fmt.Errorf("topo %q: proxy domain %d member index %d out of range", g.Name, di, m)
+			}
+			if m == d.Anchor {
+				return nil, fmt.Errorf("topo %q: proxy anchor %q listed as its own member", g.Name, g.Routers[m].Name)
+			}
+			if role[m] != -1 {
+				return nil, fmt.Errorf("topo %q: router %q in two proxy domains", g.Name, g.Routers[m].Name)
+			}
+			role[m] = di
+		}
+	}
+	for di, d := range doms {
+		inDomain := map[int]bool{d.Anchor: true}
+		for _, m := range d.Members {
+			inDomain[m] = true
+		}
+		// Member links must attach only domain routers.
+		for _, m := range d.Members {
+			for _, li := range g.Routers[m].Links {
+				for _, ri := range g.RoutersOn(li) {
+					if !inDomain[ri] {
+						return nil, fmt.Errorf("topo %q: proxy %q link %q attaches non-domain router %q",
+							g.Name, g.Routers[m].Name, g.Links[li].Name, g.Routers[ri].Name)
+					}
+				}
+			}
+		}
+		// BFS from the anchor over shared links, router-index order.
+		depth := map[int]int{d.Anchor: 0}
+		via := map[int]int{} // member → discovery link index
+		queue := []int{d.Anchor}
+		for len(queue) > 0 {
+			ri := queue[0]
+			queue = queue[1:]
+			for _, li := range g.Routers[ri].Links {
+				for _, nb := range g.RoutersOn(li) {
+					if _, seen := depth[nb]; seen || !inDomain[nb] {
+						continue
+					}
+					depth[nb] = depth[ri] + 1
+					via[nb] = li
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for _, m := range d.Members {
+			dep, ok := depth[m]
+			if !ok {
+				return nil, fmt.Errorf("topo %q: proxy %q unreachable from anchor %q within its domain",
+					g.Name, g.Routers[m].Name, g.Routers[d.Anchor].Name)
+			}
+			spec := ProxyNodeSpec{
+				Router:   g.Routers[m].Name,
+				Anchor:   g.Routers[d.Anchor].Name,
+				Upstream: g.Links[via[m]].Name,
+				Depth:    dep,
+			}
+			for _, li := range g.Routers[m].Links {
+				if li != via[m] {
+					spec.Downstream = append(spec.Downstream, g.Links[li].Name)
+				}
+			}
+			plan.Nodes[spec.Router] = spec
+			if dep > plan.MaxDepth {
+				plan.MaxDepth = dep
+			}
+		}
+		// Links fully inside this domain.
+		for li := range g.Links {
+			on := g.RoutersOn(li)
+			all := len(on) > 0
+			touches := false
+			for _, ri := range on {
+				if !inDomain[ri] {
+					all = false
+				} else {
+					touches = true
+				}
+			}
+			if all && touches {
+				plan.LinkDomain[g.Links[li].Name] = g.Routers[d.Anchor].Name
+			}
+		}
+		_ = di
+	}
+	for _, d := range doms {
+		plan.Anchors = append(plan.Anchors, g.Routers[d.Anchor].Name)
+	}
+	sort.Strings(plan.Anchors)
+	return plan, nil
+}

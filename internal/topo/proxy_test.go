@@ -1,0 +1,127 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAutoProxyDomainsFigure1(t *testing.T) {
+	g := Figure1()
+	doms := AutoProxyDomains(g, 2)
+	// A (index 0) is pendant on B, E (index 4) on D; B, C, D all keep
+	// two or more unpeeled neighbors and stay in the PIM core.
+	if len(doms) != 2 {
+		t.Fatalf("domains = %+v, want two", doms)
+	}
+	if doms[0].Anchor != 1 || len(doms[0].Members) != 1 || doms[0].Members[0] != 0 {
+		t.Errorf("domain 0 = %+v, want anchor B with member A", doms[0])
+	}
+	if doms[1].Anchor != 3 || len(doms[1].Members) != 1 || doms[1].Members[0] != 4 {
+		t.Errorf("domain 1 = %+v, want anchor D with member E", doms[1])
+	}
+}
+
+func TestAutoProxyDomainsGridHasNone(t *testing.T) {
+	// No pendant routers in a grid: the approach must degenerate to no
+	// domains rather than invent an invalid plan.
+	if doms := AutoProxyDomains(Grid(3, 3), 4); len(doms) != 0 {
+		t.Fatalf("grid peeled into %+v", doms)
+	}
+}
+
+func TestAutoProxyDomainsTreePeelsToOneAnchor(t *testing.T) {
+	g := Tree(13, 3)
+	doms := AutoProxyDomains(g, 16)
+	if len(doms) != 1 || len(doms[0].Members) != len(g.Routers)-1 {
+		t.Fatalf("tree domains = %+v, want one anchor owning everything", doms)
+	}
+	plan, err := BuildProxyPlan(g, doms)
+	if err != nil {
+		t.Fatalf("BuildProxyPlan: %v", err)
+	}
+	if plan.MaxDepth < 2 {
+		t.Fatalf("MaxDepth = %d, want a real hierarchy", plan.MaxDepth)
+	}
+	if len(plan.Anchors) != 1 {
+		t.Fatalf("anchors = %v", plan.Anchors)
+	}
+}
+
+func TestAutoProxyDomainsDepthBoundsRounds(t *testing.T) {
+	g := Tree(13, 3)
+	doms := AutoProxyDomains(g, 1)
+	plan, err := BuildProxyPlan(g, doms)
+	if err != nil {
+		t.Fatalf("BuildProxyPlan: %v", err)
+	}
+	if plan.MaxDepth != 1 {
+		t.Fatalf("MaxDepth = %d with depth 1, want 1", plan.MaxDepth)
+	}
+}
+
+func TestBuildProxyPlanFigure1(t *testing.T) {
+	g := Figure1()
+	plan, err := BuildProxyPlan(g, AutoProxyDomains(g, 2))
+	if err != nil {
+		t.Fatalf("BuildProxyPlan: %v", err)
+	}
+	a, ok := plan.Nodes["A"]
+	if !ok || a.Anchor != "B" || a.Upstream != "L2" || a.Depth != 1 ||
+		len(a.Downstream) != 1 || a.Downstream[0] != "L1" {
+		t.Errorf("A spec = %+v", a)
+	}
+	e, ok := plan.Nodes["E"]
+	if !ok || e.Anchor != "D" || e.Upstream != "L5" || e.Depth != 1 ||
+		len(e.Downstream) != 1 || e.Downstream[0] != "L6" {
+		t.Errorf("E spec = %+v", e)
+	}
+	want := map[string]string{"L1": "B", "L2": "B", "L4": "D", "L5": "D", "L6": "D"}
+	if len(plan.LinkDomain) != len(want) {
+		t.Fatalf("LinkDomain = %v, want %v", plan.LinkDomain, want)
+	}
+	for ln, anchor := range want {
+		if plan.LinkDomain[ln] != anchor {
+			t.Errorf("LinkDomain[%s] = %q, want %q", ln, plan.LinkDomain[ln], anchor)
+		}
+	}
+	if _, ok := plan.LinkDomain["L3"]; ok {
+		t.Error("backbone L3 assigned to a domain")
+	}
+	if plan.MaxDepth != 1 || len(plan.Anchors) != 2 {
+		t.Errorf("MaxDepth=%d Anchors=%v", plan.MaxDepth, plan.Anchors)
+	}
+}
+
+func TestBuildProxyPlanRejectsTransitProxies(t *testing.T) {
+	g := Figure1()
+	// E's link L5 also attaches D, which is outside {B, A, E}: making E a
+	// proxy of B would put it on a multicast transit path.
+	_, err := BuildProxyPlan(g, []ProxyDomain{{Anchor: 1, Members: []int{0, 4}}})
+	if err == nil || !strings.Contains(err.Error(), "non-domain router") {
+		t.Fatalf("err = %v, want non-domain router rejection", err)
+	}
+}
+
+func TestBuildProxyPlanRejectsOverlap(t *testing.T) {
+	g := Figure1()
+	doms := []ProxyDomain{{Anchor: 1, Members: []int{0}}, {Anchor: 3, Members: []int{0}}}
+	if _, err := BuildProxyPlan(g, doms); err == nil || !strings.Contains(err.Error(), "two proxy domains") {
+		t.Fatalf("err = %v, want overlap rejection", err)
+	}
+	doms = []ProxyDomain{{Anchor: 0, Members: []int{0}}}
+	if _, err := BuildProxyPlan(g, doms); err == nil || !strings.Contains(err.Error(), "its own member") {
+		t.Fatalf("err = %v, want self-member rejection", err)
+	}
+}
+
+func TestGraphValidateChecksProxyDomains(t *testing.T) {
+	g := Figure1()
+	g.ProxyDomains = []ProxyDomain{{Anchor: 1, Members: []int{0, 4}}}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted an invalid proxy designation")
+	}
+	g.ProxyDomains = AutoProxyDomains(Figure1(), 2)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate rejected a valid proxy designation: %v", err)
+	}
+}

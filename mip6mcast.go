@@ -49,12 +49,14 @@ type (
 	Network = scenario.Network
 )
 
-// The four approaches (paper §4.2.3).
+// The four approaches (paper §4.2.3) plus the hierarchical MLD-proxy
+// extension (approach #5, after Schmidt/Wählisch's M-HMIPv6).
 var (
 	LocalMembership     = core.LocalMembership
 	BidirectionalTunnel = core.BidirectionalTunnel
 	UniTunnelMNToHA     = core.UniTunnelMNToHA
 	UniTunnelHAToMN     = core.UniTunnelHAToMN
+	ProxyHierarchy      = core.ProxyHierarchy
 )
 
 // Mode constants.
@@ -63,12 +65,28 @@ const (
 	SendHomeTunnel     = core.SendHomeTunnel
 	ReceiveLocal       = core.ReceiveLocal
 	ReceiveHomeTunnel  = core.ReceiveHomeTunnel
+	ReceiveProxy       = core.ReceiveProxy
 	VariantGroupListBU = core.VariantGroupListBU
 	VariantTunneledMLD = core.VariantTunneledMLD
 )
 
 // FourApproaches returns the paper's Table 1 in order.
+//
+// Deprecated: use Approaches, which includes every registered approach
+// (the paper's four plus the proxy hierarchy).
 func FourApproaches() []Approach { return core.FourApproaches() }
+
+// Approaches returns every registered approach in registration order: the
+// paper's Table 1 followed by extensions such as the proxy hierarchy.
+func Approaches() []Approach { return core.Approaches() }
+
+// ApproachNames returns the registered approach names in the same order
+// as Approaches.
+func ApproachNames() []string { return core.ApproachNames() }
+
+// ApproachByName resolves a registered approach by name or alias
+// ("local-membership"/"local", ..., "proxy-hierarchy"/"proxy").
+func ApproachByName(name string) (Approach, bool) { return core.ApproachByName(name) }
 
 // Group is the multicast group the experiments and examples stream to.
 var Group = scenario.Group

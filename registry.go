@@ -2,6 +2,7 @@ package mip6mcast
 
 import (
 	"fmt"
+	"strings"
 
 	"mip6mcast/internal/exp"
 	"mip6mcast/internal/metrics"
@@ -36,7 +37,7 @@ func init() {
 	})
 	exp.Register(&exp.Experiment{
 		Name: "t1",
-		Desc: "Table 1 / §4.3: the four approaches under the movement scenario",
+		Desc: "Table 1 / §4.3: every registered approach under the movement scenario",
 		Run:  runExpT1,
 	})
 	exp.Register(&exp.Experiment{
@@ -79,6 +80,7 @@ func init() {
 		Params: []exp.Param{
 			{Name: "groups", Desc: "group subscription counts", Kind: exp.IntList,
 				Default: []int{1, 4, 15, 16, 40}},
+			paramApproach("uni-tunnel-ha-to-mn"),
 			paramTQuery(),
 		},
 		Run: runExpSMG,
@@ -112,6 +114,7 @@ func init() {
 		Desc:  "chaos: fault-injection matrix with convergence invariant checks",
 		Sweep: true,
 		Params: []exp.Param{
+			paramApproach("local-membership"),
 			paramEngine(),
 			{Name: "tracedir", Desc: "write each timeline's JSONL trace under this directory for seed replay; empty disables",
 				Kind: exp.String, Default: ""},
@@ -136,8 +139,7 @@ func init() {
 				Default: 0.5},
 			{Name: "dwell", Desc: "mean dwell time between handovers (s)", Kind: exp.Int, Default: 20},
 			{Name: "horizon", Desc: "churn window length (s)", Kind: exp.Int, Default: 60},
-			{Name: "approach", Desc: "receive approach: local or tunnel", Kind: exp.String,
-				Default: "local"},
+			paramApproach("local-membership"),
 			paramEngine(),
 			{Name: "tracedir", Desc: "write each timeline's JSONL trace under this directory for seed replay; empty disables",
 				Kind: exp.String, Default: ""},
@@ -150,9 +152,31 @@ func init() {
 // sweeps. The default keeps every existing golden trace byte-identical.
 func paramEngine() exp.Param {
 	return exp.Param{
-		Name: "engine", Desc: "multicast engine: pimdm or hpimdm",
+		Name: "engine", Desc: "multicast engine: " + strings.Join(scenario.EngineNames(), " or "),
 		Kind: exp.String, Default: "pimdm",
 	}
+}
+
+// paramApproach is the receive-approach selector shared by the sweeps
+// that can run any registered approach. The description lists the
+// registry's canonical names, so `mip6sim -list` always shows what a
+// build actually accepts (RegisterApproach additions included).
+func paramApproach(def string) exp.Param {
+	return exp.Param{
+		Name: "approach", Desc: "approach: " + strings.Join(ApproachNames(), ", ") + " (or alias local/tunnel/proxy)",
+		Kind: exp.String, Default: def,
+	}
+}
+
+// applyApproach resolves the approach parameter against the core
+// registry; unknown names panic with the registered set.
+func applyApproach(p exp.Params) Approach {
+	name := p.Str("approach")
+	a, ok := ApproachByName(name)
+	if !ok {
+		panic(fmt.Sprintf("unknown approach %q (registered: %v)", name, ApproachNames()))
+	}
+	return a
 }
 
 // applyEngine validates the engine parameter against the scenario
@@ -204,43 +228,63 @@ func mustRunExp(name string, ctx exp.Context, p exp.Params) exp.Result {
 }
 
 func runExpF1(ctx exp.Context, p exp.Params) exp.Result {
-	res := measureF1(ctx.Opt)
+	// Column 0 is the paper's flat build; column 1 rebuilds the same tree
+	// with the edge routers peeled into MLD-proxy domains (approach #5) —
+	// same delivery, aggregated state instead of per-proxy PIM state.
+	approaches := []Approach{LocalMembership, ProxyHierarchy}
+	cols := []string{"flat", "proxy"}
+	var out [2]F1Result
+	exp.ForEach(ctx, len(approaches), func(opt scenario.Options, i int) {
+		out[i] = measureF1(opt, approaches[i])
+	})
+	val := func(get func(F1Result) float64) map[string]float64 {
+		return map[string]float64{"flat": get(out[0]), "proxy": get(out[1])}
+	}
 	rows := []metrics.Row{
-		{Label: "sent", Values: map[string]float64{"value": float64(res.Sent)}},
+		{Label: "sent", Values: val(func(r F1Result) float64 { return float64(r.Sent) })},
 	}
 	for _, name := range []string{"R1", "R2", "R3"} {
+		name := name
 		rows = append(rows, metrics.Row{
 			Label:  "delivered@" + name,
-			Values: map[string]float64{"value": float64(res.Delivered[name])},
+			Values: val(func(r F1Result) float64 { return float64(r.Delivered[name]) }),
 		})
 	}
 	for _, l := range scenario.LinkNames() {
+		l := l
 		rows = append(rows, metrics.Row{
 			Label:  "data@" + l + "(B)",
-			Values: map[string]float64{"value": float64(res.DataBytesPerLink[l])},
+			Values: val(func(r F1Result) float64 { return float64(r.DataBytesPerLink[l]) }),
 		})
 	}
 	rows = append(rows,
-		metrics.Row{Label: "flood-frames@L5", Values: map[string]float64{"value": float64(res.FloodFramesL5)}},
-		metrics.Row{Label: "frames@L6", Values: map[string]float64{"value": float64(res.FramesL6)}},
-		metrics.Row{Label: "sg-entries@D", Values: map[string]float64{"value": float64(len(res.TreeAtD))}},
+		metrics.Row{Label: "flood-frames@L5", Values: val(func(r F1Result) float64 { return float64(r.FloodFramesL5) })},
+		metrics.Row{Label: "frames@L6", Values: val(func(r F1Result) float64 { return float64(r.FramesL6) })},
+		metrics.Row{Label: "sg-entries@D", Values: val(func(r F1Result) float64 { return float64(len(r.TreeAtD)) })},
 	)
 	return exp.Result{
-		Title:    "F1: initial distribution tree (paper Figure 1)",
-		Columns:  []string{"value"},
+		Title:    "F1: initial distribution tree (paper Figure 1; flat vs proxy build)",
+		Columns:  cols,
 		Rows:     rows,
-		Artifact: res,
+		Artifact: out,
 	}
 }
 
 func runExpF2(ctx exp.Context, p exp.Params) exp.Result {
-	var out [2]F2Result
-	exp.ForEach(ctx, 2, func(opt scenario.Options, i int) {
-		out[i] = measureF2(opt, i == 0)
+	// Rows 0/1 are the paper's report-policy contrast under local
+	// membership; row 2 repeats the unsolicited-report move under the
+	// proxy hierarchy, where L4→L6 is an anchor-local handover.
+	var out [3]F2Result
+	exp.ForEach(ctx, 3, func(opt scenario.Options, i int) {
+		approach := LocalMembership
+		if i == 2 {
+			approach = ProxyHierarchy
+		}
+		out[i] = measureF2(opt, i != 1, approach)
 	})
-	labels := []string{"unsolicited-reports", "wait-for-query"}
+	labels := []string{"unsolicited-reports", "wait-for-query", "proxy-hierarchy"}
 	cols := []string{"join(s)", "leave(s)", "waste(B)", "delivered-after"}
-	rows := make([]metrics.Row, 0, 2)
+	rows := make([]metrics.Row, 0, len(out))
 	for i, res := range out {
 		rows = append(rows, metrics.Row{
 			Label: labels[i],
@@ -262,16 +306,25 @@ func runExpF2(ctx exp.Context, p exp.Params) exp.Result {
 
 func runExpF3(ctx exp.Context, p exp.Params) exp.Result {
 	variants := []HAVariant{VariantGroupListBU, VariantTunneledMLD}
-	labels := []string{"group-list-BU", "tunneled-MLD"}
-	results := make([]F3Result, len(variants))
-	exp.ForEach(ctx, len(variants), func(opt scenario.Options, i int) {
-		results[i] = measureF3(opt, variants[i])
+	// The third row contrasts both tunnel variants with the proxy
+	// hierarchy: R3's move lands below proxy A (domain B), so it rejoins
+	// locally through the proxy tree — no tunnel, near-optimal hops.
+	labels := []string{"group-list-BU", "tunneled-MLD", "proxy-hierarchy"}
+	results := make([]F3Result, len(variants)+1)
+	exp.ForEach(ctx, len(results), func(opt scenario.Options, i int) {
+		if i < len(variants) {
+			results[i] = measureF3(opt, variants[i])
+		} else {
+			results[i] = measureF3Run(opt, ProxyHierarchy)
+		}
 	})
 	cols := []string{"join(s)", "hops", "optimal", "tun-ovh(B)", "ha-tunneled"}
-	rows := make([]metrics.Row, 0, len(variants))
+	rows := make([]metrics.Row, 0, len(results))
 	artifact := make(map[HAVariant]F3Result, len(variants))
 	for i, res := range results {
-		artifact[variants[i]] = res
+		if i < len(variants) {
+			artifact[variants[i]] = res
+		}
 		rows = append(rows, metrics.Row{
 			Label: labels[i],
 			Values: map[string]float64{
@@ -292,13 +345,21 @@ func runExpF3(ctx exp.Context, p exp.Params) exp.Result {
 }
 
 func runExpF4(ctx exp.Context, p exp.Params) exp.Result {
-	var out [2]F4Result
-	exp.ForEach(ctx, 2, func(opt scenario.Options, i int) {
-		out[i] = measureF4(opt, i == 0)
+	// Rows 0/1 are the paper's send-mode contrast; row 2 moves the sender
+	// under the proxy hierarchy, where L6 sits below proxy E and the new
+	// source is up-forwarded into anchor D's existing domain.
+	var out [3]F4Result
+	exp.ForEach(ctx, 3, func(opt scenario.Options, i int) {
+		switch i {
+		case 2:
+			out[i] = measureF4Run(opt, ProxyHierarchy)
+		default:
+			out[i] = measureF4(opt, i == 0)
+		}
 	})
-	labels := []string{"reverse-tunnel", "local-send"}
+	labels := []string{"reverse-tunnel", "local-send", "proxy-hierarchy"}
 	cols := []string{"gap(s)", "newtrees", "peakSG", "asserts", "tun(B)", "recv-R1", "recv-R2", "recv-R3"}
-	rows := make([]metrics.Row, 0, 2)
+	rows := make([]metrics.Row, 0, len(out))
 	for i, res := range out {
 		vals := map[string]float64{
 			"gap(s)":   res.MaxGapAfterMove.Seconds(),
@@ -321,13 +382,16 @@ func runExpF4(ctx exp.Context, p exp.Params) exp.Result {
 }
 
 func runExpT1(ctx exp.Context, p exp.Params) exp.Result {
-	approaches := FourApproaches()
+	// Every registered approach rides the identical movement scenario:
+	// the paper's four plus any added via core.RegisterApproach (the
+	// proxy hierarchy being the first).
+	approaches := Approaches()
 	rows := make([]T1Row, len(approaches))
 	exp.ForEach(ctx, len(approaches), func(opt scenario.Options, i int) {
 		rows[i] = runT1One(opt, approaches[i])
 	})
 	return exp.Result{
-		Title:    "T1: four approaches, Fig.1 movement scenario",
+		Title:    "T1: registered approaches, Fig.1 movement scenario",
 		Columns:  t1Columns(),
 		Rows:     t1Rows(rows),
 		Artifact: rows,
@@ -406,6 +470,7 @@ func runExpS432(ctx exp.Context, p exp.Params) exp.Result {
 
 func runExpSMG(ctx exp.Context, p exp.Params) exp.Result {
 	ctx.Opt = applyTQuery(ctx.Opt, p)
+	approach := applyApproach(p)
 	counts := p.Ints("groups")
 	points := make([]string, len(counts))
 	for i, g := range counts {
@@ -415,7 +480,7 @@ func runExpSMG(ctx exp.Context, p exp.Params) exp.Result {
 		Points:  points,
 		Columns: []string{"bu(B)", "subopts", "ha(dgm/s)", "join-p50(s)", "join-max(s)", "delivered"},
 		Run: func(opt scenario.Options, pt int) (map[string]float64, any) {
-			res := runSMGOne(opt, counts[pt])
+			res := runSMGOne(opt, counts[pt], approach)
 			return map[string]float64{
 				"bu(B)":       float64(res.MaxBUBytes),
 				"subopts":     float64(res.SubOptions),

@@ -60,6 +60,50 @@ else
     exit 1
 fi
 
+# Chaos under the hierarchical MLD-proxy approach (#5): edge routers A
+# and E run the mldproxy engine instead of PIM, and the same determinism
+# and zero-violation contract must hold. Trace files carry the
+# "proxy-hierarchy-" approach tag, so they never collide with the
+# local-membership smokes above.
+go run -race ./cmd/mip6sim -experiment chaos -topo approach=proxy -replicates 1 -seed 7 \
+    -workers 1 -trace-out "$tmp/p1" -telemetry-out "$tmp/p1" > "$tmp/p1.out"
+go run -race ./cmd/mip6sim -experiment chaos -topo approach=proxy -replicates 1 -seed 7 \
+    -workers 8 -trace-out "$tmp/p8" -telemetry-out "$tmp/p8" > "$tmp/p8.out"
+test -s "$tmp/p1/chaos.telemetry.csv"
+test -s "$tmp/p1/chaos-proxy-hierarchy-baseline-seed7.jsonl" # approach tag present
+diff -r "$tmp/p1" "$tmp/p8"
+diff "$tmp/p1.out" "$tmp/p8.out"
+if awk 'NR > 2 && NF > 1 && $2 != "0" { bad = 1 } END { exit bad }' "$tmp/p1.out"; then
+    echo "chaos smoke (mldproxy): workers=1 and workers=8 traces byte-identical, 0 violations"
+else
+    echo "chaos smoke (mldproxy): invariant violations reported:" >&2
+    cat "$tmp/p1.out" >&2
+    exit 1
+fi
+
+# Scale under the proxy approach: the proxy-aware invariant checker
+# (check.Converged walking mldproxy trees) must report zero violations on
+# every family — including grids, where the depth-2 peel finds no pendant
+# routers and the approach degenerates honestly to local membership.
+go run -race ./cmd/mip6sim -experiment scale \
+    -topo family=fig1+tree+grid,routers=4,mns=8,approach=proxy \
+    -replicates 1 -seed 7 -workers 1 -trace-out "$tmp/sp1" \
+    -telemetry-out "$tmp/sp1" > "$tmp/sp1.out"
+go run -race ./cmd/mip6sim -experiment scale \
+    -topo family=fig1+tree+grid,routers=4,mns=8,approach=proxy \
+    -replicates 1 -seed 7 -workers 8 -trace-out "$tmp/sp8" \
+    -telemetry-out "$tmp/sp8" > "$tmp/sp8.out"
+test -s "$tmp/sp1/scale.telemetry.csv"
+diff -r "$tmp/sp1" "$tmp/sp8"
+diff "$tmp/sp1.out" "$tmp/sp8.out"
+if awk 'NR > 2 && NF > 1 && $2 != "0" { bad = 1 } END { exit bad }' "$tmp/sp1.out"; then
+    echo "scale smoke (mldproxy): workers=1 and workers=8 traces byte-identical, 0 violations"
+else
+    echo "scale smoke (mldproxy): invariant violations reported:" >&2
+    cat "$tmp/sp1.out" >&2
+    exit 1
+fi
+
 # Scale determinism smoke: the fig1, tree and grid cells of the
 # procedural-topology sweep under BOTH engines, same contract as the chaos
 # smoke — fixed seed, byte-identical per-timeline JSONL traces and
